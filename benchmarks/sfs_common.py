@@ -1,0 +1,128 @@
+"""Shared SPECsfs harness for the Figure 5 / Figure 6 benchmarks.
+
+Hardware matches the paper's testbed topology (1 directory server, 2
+small-file servers, N storage nodes vs a single NFS/CCD server), but
+caches and file sets are shrunk together by the bench scale so saturation
+and cache-overflow appear at proportionally smaller IOPS — the paper's
+shapes at a tractable simulation cost.  Each configuration builds its file
+set once and sweeps offered load ascending on the same ensemble.
+"""
+
+from typing import Dict, List
+
+from repro.ensemble.baseline import BaselineParams, MonolithicServer
+from repro.ensemble.cluster import SliceCluster
+from repro.ensemble.params import ClusterParams
+from repro.net import NetParams, Network
+from repro.nfs.client import NfsClient
+from repro.sim import Simulator
+from repro.smallfile.server import SmallFileParams
+from repro.storage.node import StorageNodeParams
+from repro.workloads.fileset import FilesetSpec
+from repro.workloads.specsfs import SfsConfig, SfsResult, SfsRun
+
+# Hardware scale-down for the SFS experiments: memory AND disk arms shrink
+# together (2 drives per node instead of 8; 10 MB caches instead of
+# hundreds), so saturation and cache-overflow appear at proportionally
+# smaller IOPS with the paper's shapes.
+SF_CACHE = 10 << 20
+NODE_CACHE = 10 << 20
+BASE_CACHE = 10 << 20
+DISKS_PER_NODE = 1
+
+NUM_CLIENT_HOSTS = 4
+NUM_PROCS = 192
+WARMUP = 1.0
+WINDOW = 4.0
+
+
+def fileset_spec(nfiles: int, seed: int = 1) -> FilesetSpec:
+    return FilesetSpec(
+        num_files=nfiles,
+        num_dirs=max(5, nfiles // 30),
+        num_symlinks=max(5, nfiles // 50),
+        seed=seed,
+    )
+
+
+class SfsHarness:
+    """One configuration (Slice-N or the NFS baseline) under SFS load."""
+
+    def __init__(self, config_name: str, num_storage_nodes: int = 0,
+                 baseline: bool = False, nfiles: int = 800,
+                 num_dir_servers: int = 1):
+        self.name = config_name
+        self.nfiles = nfiles
+        if baseline:
+            self.sim = Simulator()
+            net = Network(self.sim, NetParams())
+            self.server = MonolithicServer(
+                self.sim, net.add_host("nfs"),
+                BaselineParams(
+                    mode="ffs", cache_bytes=BASE_CACHE,
+                    num_disks=DISKS_PER_NODE,
+                ),
+            )
+            self.clients = [
+                NfsClient(self.sim, net.add_host(f"c{i}"), self.server.address)
+                for i in range(NUM_CLIENT_HOSTS)
+            ]
+            self.root_fh = self.server.root_fh()
+            self.runner = lambda gen: self.sim.run_process(gen)
+        else:
+            cluster = SliceCluster(
+                params=ClusterParams(
+                    num_storage_nodes=num_storage_nodes,
+                    num_dir_servers=num_dir_servers,
+                    # The SFS file set is a flat forest of directories under
+                    # one parent; distribute them aggressively so multiple
+                    # directory servers share the load (§3.2).
+                    mkdir_p=1.0,
+                    num_sf_servers=2,
+                    dir_logical_sites=16,
+                    sf_logical_sites=8,
+                    storage=StorageNodeParams(
+                        cache_bytes=NODE_CACHE, num_disks=DISKS_PER_NODE,
+                    ),
+                    smallfile=SmallFileParams(cache_bytes=SF_CACHE),
+                )
+            )
+            self.cluster = cluster
+            self.sim = cluster.sim
+            self.clients = [
+                cluster.add_client(f"c{i}", port=700 + i)[0]
+                for i in range(NUM_CLIENT_HOSTS)
+            ]
+            self.root_fh = cluster.root_fh
+            self.runner = cluster.run
+        self._run_index = 0
+        self._fileset = None
+
+    def run_point(self, offered_load: float) -> SfsResult:
+        """One load point.  Unlike real SPECsfs we build the file set once
+        per configuration and sweep loads ascending over it — rebuilding a
+        cache-busting file set per point would dominate simulation time
+        without changing the shapes."""
+        self._run_index += 1
+        config = SfsConfig(
+            offered_load=offered_load,
+            num_procs=NUM_PROCS,
+            warmup=WARMUP,
+            window=WINDOW,
+            fileset=fileset_spec(self.nfiles, seed=1),
+            seed=self._run_index,
+        )
+        run = SfsRun(
+            self.sim, self.clients, self.root_fh, config,
+            dirname="sfs" if self._run_index == 1 else f"sfs{self._run_index}",
+        )
+        if self._run_index > 1 and self._fileset is not None:
+            run.fileset = self._fileset
+            result = self.runner(run.execute_with_existing())
+        else:
+            result = self.runner(run.execute())
+            self._fileset = run.fileset
+        return result
+
+    def sweep(self, loads: List[float]) -> List[SfsResult]:
+        return [self.run_point(load) for load in loads]

@@ -1,0 +1,132 @@
+"""Figure 3: directory service scaling under the name-intensive untar.
+
+The paper plots average untar latency per client process against the
+number of concurrent processes, for an NFS server exporting a memory file
+system (N-MFS) and Slice with 1, 2, and 4 directory servers.  Expected
+shape: MFS wins lightly loaded (Slice pays for journaling and update
+traffic), then MFS's single CPU saturates while Slice-N latency stays flat
+longer and scales with added directory servers (each server saturating
+around 6000 ops/s).
+"""
+
+import pytest
+
+from repro.ensemble.baseline import BaselineParams, MonolithicServer
+from repro.ensemble.cluster import SliceCluster
+from repro.ensemble.params import ClusterParams
+from repro.metrics.report import format_series, format_table
+from repro.net import NetParams, Network
+from repro.nfs.client import NfsClient
+from repro.sim import Simulator
+from repro.workloads.untar import UntarSpec, UntarWorkload
+
+from conftest import SCALE, run_once, scaled
+
+# The paper ran 36 000 entries (~250 000 NFS ops) per process.
+ENTRIES_PER_PROC = scaled(6000, minimum=300)
+PROCESS_COUNTS = [1, 4, 8]
+CLIENT_HOSTS = 5  # "five client PCs"
+
+
+def run_untar_processes(make_client, root_fh, sim, runner, nprocs):
+    clients = [make_client(i) for i in range(min(CLIENT_HOSTS, nprocs))]
+    spec = UntarSpec(total_entries=ENTRIES_PER_PROC)
+    workloads = [
+        UntarWorkload(
+            clients[i % len(clients)], root_fh, spec, prefix=f"p{i}", seed=i
+        )
+        for i in range(nprocs)
+    ]
+    results = []
+
+    def one(workload):
+        result = yield from workload.run()
+        results.append(result)
+
+    def all_procs():
+        yield sim.all_of([sim.process(one(w)) for w in workloads])
+
+    runner(all_procs())
+    mean_latency = sum(r[2] for r in results) / len(results)
+    total_ops = sum(r[1] for r in results)
+    throughput = total_ops / max(r[2] for r in results)
+    return mean_latency, throughput
+
+
+def slice_point(num_dir_servers, nprocs):
+    cluster = SliceCluster(
+        params=ClusterParams(
+            num_storage_nodes=2,
+            num_dir_servers=num_dir_servers,
+            num_sf_servers=1,
+            dir_logical_sites=16,
+            sf_logical_sites=4,
+        )
+    )
+    return run_untar_processes(
+        lambda i: cluster.add_client(f"c{i}", port=700 + i)[0],
+        cluster.root_fh, cluster.sim, cluster.run, nprocs,
+    )
+
+
+def mfs_point(nprocs):
+    sim = Simulator()
+    net = Network(sim, NetParams())
+    server = MonolithicServer(
+        sim, net.add_host("nfs"), BaselineParams(mode="mfs")
+    )
+    return run_untar_processes(
+        lambda i: NfsClient(sim, net.add_host(f"c{i}"), server.address),
+        server.root_fh(), sim, lambda gen: sim.run_process(gen), nprocs,
+    )
+
+
+def test_fig3_directory_service_scaling(benchmark):
+    series = {}
+
+    def experiment():
+        for label, point in (
+            ("N-MFS", mfs_point),
+            ("Slice-1", lambda n: slice_point(1, n)),
+            ("Slice-2", lambda n: slice_point(2, n)),
+            ("Slice-4", lambda n: slice_point(4, n)),
+        ):
+            series[label] = [point(n) for n in PROCESS_COUNTS]
+        return series
+
+    run_once(benchmark, experiment)
+
+    rows = []
+    for i, nprocs in enumerate(PROCESS_COUNTS):
+        rows.append([nprocs] + [
+            f"{series[label][i][0]:.1f}s"
+            for label in ("N-MFS", "Slice-1", "Slice-2", "Slice-4")
+        ])
+    print(format_table(
+        ["processes", "N-MFS", "Slice-1", "Slice-2", "Slice-4"],
+        rows,
+        title=(
+            f"Figure 3: untar latency per process "
+            f"({ENTRIES_PER_PROC} entries/proc, scale={SCALE})"
+        ),
+    ))
+    for label in ("N-MFS", "Slice-1", "Slice-2", "Slice-4"):
+        print(format_series(
+            label, PROCESS_COUNTS, [round(t, 0) for _l, t in series[label]],
+            "processes", "aggregate ops/s",
+        ))
+
+    light = PROCESS_COUNTS.index(1)
+    heavy = len(PROCESS_COUNTS) - 1
+    # Lightly loaded: MFS beats Slice (journaling + update traffic).
+    assert series["N-MFS"][light][0] < series["Slice-1"][light][0]
+    # Heavily loaded: request routing spreads the load; more directory
+    # servers help, and Slice-4 beats the saturated MFS server clearly.
+    assert series["Slice-4"][heavy][0] < series["Slice-2"][heavy][0] * 1.05
+    assert series["Slice-2"][heavy][0] < series["Slice-1"][heavy][0]
+    assert series["Slice-4"][heavy][0] < series["N-MFS"][heavy][0] / 1.5
+    # MFS throughput saturates: going 1 -> max processes barely helps.
+    mfs_throughputs = [t for _l, t in series["N-MFS"]]
+    assert mfs_throughputs[heavy] < mfs_throughputs[light] * 2.5
+    # Slice-4 keeps scaling well past MFS's ceiling.
+    assert max(t for _l, t in series["Slice-4"]) > max(mfs_throughputs) * 1.5

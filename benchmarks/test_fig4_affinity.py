@@ -1,0 +1,102 @@
+"""Figure 4: impact of directory affinity for mkdir switching.
+
+The paper varies the affinity (1-p) — the probability that a new directory
+stays on its parent's server — under the untar workload with four
+directory servers and 1/4/8/16 client processes.  Expected shape: at light
+load the curve is flat (one server suffices); at heavier load, moving
+right (more affinity) first helps slightly (fewer cross-server operations)
+and then hurts sharply as affinity approaches 1.0 because all load lands
+on one server.  The paper's conclusion: even distributions with fewer than
+20% of mkdirs redirected.
+"""
+
+import pytest
+
+from repro.ensemble.cluster import SliceCluster
+from repro.ensemble.params import ClusterParams
+from repro.metrics.report import format_table
+from repro.workloads.untar import UntarSpec, UntarWorkload
+
+from conftest import SCALE, run_once, scaled
+
+AFFINITIES = [0.0, 0.5, 0.8, 0.95, 1.0]
+PROCESS_COUNTS = [1, 8]
+ENTRIES_PER_PROC = scaled(6000, minimum=300)
+NUM_DIR_SERVERS = 4
+CLIENT_HOSTS = 4  # "four client nodes"
+
+
+def untar_latency(affinity, nprocs):
+    cluster = SliceCluster(
+        params=ClusterParams(
+            num_storage_nodes=2,
+            num_dir_servers=NUM_DIR_SERVERS,
+            num_sf_servers=1,
+            dir_logical_sites=32,
+            sf_logical_sites=4,
+            mkdir_p=1.0 - affinity,
+        )
+    )
+    clients = [
+        cluster.add_client(f"c{i}", port=700 + i)[0]
+        for i in range(min(CLIENT_HOSTS, nprocs))
+    ]
+    spec = UntarSpec(total_entries=ENTRIES_PER_PROC)
+    workloads = [
+        UntarWorkload(
+            clients[i % len(clients)], cluster.root_fh, spec,
+            prefix=f"p{i}", seed=i,
+        )
+        for i in range(nprocs)
+    ]
+    sim = cluster.sim
+    results = []
+
+    def one(workload):
+        result = yield from workload.run()
+        results.append(result)
+
+    def all_procs():
+        yield sim.all_of([sim.process(one(w)) for w in workloads])
+
+    cluster.run(all_procs())
+    return sum(r[2] for r in results) / len(results)
+
+
+def test_fig4_mkdir_switching_affinity(benchmark):
+    curves = {}
+
+    def experiment():
+        for nprocs in PROCESS_COUNTS:
+            curves[nprocs] = [
+                untar_latency(affinity, nprocs) for affinity in AFFINITIES
+            ]
+        return curves
+
+    run_once(benchmark, experiment)
+
+    rows = []
+    for i, affinity in enumerate(AFFINITIES):
+        rows.append(
+            [f"{affinity:.2f}"]
+            + [f"{curves[n][i]:.2f}s" for n in PROCESS_COUNTS]
+        )
+    print(format_table(
+        ["affinity (1-p)"] + [f"{n} procs" for n in PROCESS_COUNTS],
+        rows,
+        title=(
+            f"Figure 4: untar latency vs directory affinity "
+            f"({NUM_DIR_SERVERS} dir servers, scale={SCALE})"
+        ),
+    ))
+
+    # Light load: affinity does not matter much (one server can handle it).
+    light = curves[PROCESS_COUNTS[0]]
+    assert max(light) < min(light) * 1.8
+    # Heavy load: full affinity (everything on one server) is clearly worse
+    # than a distribution-friendly setting.
+    heavy = curves[PROCESS_COUNTS[-1]]
+    best = min(heavy)
+    assert heavy[-1] > best * 1.35
+    # Moderate affinity (<= 0.8, i.e. redirecting >= 20%) is near-optimal.
+    assert min(heavy[:3]) <= best * 1.1

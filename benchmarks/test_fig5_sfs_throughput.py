@@ -1,0 +1,93 @@
+"""Figure 5: SPECsfs97 delivered throughput at saturation.
+
+The paper drives the SFS97 operation mix against Slice configurations with
+1..8 storage nodes (one directory server, two small-file servers) and a
+FreeBSD NFS baseline exporting its disk array as one volume.  Expected
+shape: delivered IOPS tracks offered load until the disk arms saturate;
+the baseline flattens first (850 IOPS on the testbed), Slice-1 somewhat
+above it, and saturation scales with storage nodes (6600 IOPS at 8 nodes).
+
+Here the hardware memory and file sets are shrunk together (see
+sfs_common), so saturation appears at proportionally smaller absolute
+IOPS; the scaling *ratios* are the reproduced result.
+"""
+
+import pytest
+
+from repro.metrics.report import format_series, format_table
+
+from conftest import SCALE, run_once
+from sfs_common import SfsHarness
+
+# Offered-load grid, shared by every configuration so the curves overlay
+# like the paper's Figure 5.
+LOADS = [500, 1500, 3500, 7000, 12000]
+FILES = 2400
+
+CONFIGS = [
+    ("NFS", dict(baseline=True)),
+    ("Slice-1", dict(num_storage_nodes=1)),
+    ("Slice-2", dict(num_storage_nodes=2)),
+    ("Slice-4", dict(num_storage_nodes=4)),
+    ("Slice-8", dict(num_storage_nodes=8)),
+    # Beyond the paper: once the single directory server becomes the
+    # binding resource (visible at this bench scale), the architecture's
+    # answer is to scale that class independently (§2).
+    ("Slice-8+2dir", dict(num_storage_nodes=8, num_dir_servers=2)),
+]
+
+
+def saturation(results):
+    return max(r.achieved_iops for r in results)
+
+
+def test_fig5_sfs_throughput(benchmark):
+    series = {}
+
+    def experiment():
+        for name, kwargs in CONFIGS:
+            harness = SfsHarness(name, nfiles=FILES, **kwargs)
+            series[name] = harness.sweep(LOADS)
+        return series
+
+    run_once(benchmark, experiment)
+
+    rows = []
+    for i, load in enumerate(LOADS):
+        rows.append([load] + [
+            f"{series[name][i].achieved_iops:.0f}"
+            for name, _k in CONFIGS
+        ])
+    print(format_table(
+        ["offered IOPS"] + [name for name, _k in CONFIGS],
+        rows,
+        title=f"Figure 5: SPECsfs delivered IOPS vs offered load (scale={SCALE})",
+    ))
+    sats = {name: saturation(series[name]) for name, _k in CONFIGS}
+    print(format_table(
+        ["config", "saturation IOPS", "vs NFS baseline"],
+        [
+            (name, f"{sats[name]:.0f}", f"{sats[name] / sats['NFS']:.2f}x")
+            for name, _k in CONFIGS
+        ],
+        title="Figure 5: saturation points",
+    ))
+
+    # Shapes: delivered tracks offered at light load for every config.
+    for name, _k in CONFIGS:
+        first = series[name][0]
+        assert first.achieved_iops > LOADS[0] * 0.75, name
+    # Slice-1 at least matches the baseline (faster directory operations).
+    assert sats["Slice-1"] > sats["NFS"] * 0.9
+    # Throughput scales with storage nodes...
+    assert sats["Slice-2"] > sats["Slice-1"] * 1.3
+    assert sats["Slice-4"] > sats["Slice-2"] * 1.1
+    # At this bench scale the lone directory server becomes the binding
+    # resource around Slice-4; 8 nodes hold the level (the paper's testbed
+    # hit its disk limit first, at 6600 IOPS).
+    assert sats["Slice-8"] > sats["Slice-4"] * 0.95
+    # Scaling the directory class unlocks the storage array again.
+    assert sats["Slice-8+2dir"] > sats["Slice-8"] * 1.1
+    # ... ending several times beyond the single-server baseline (the paper
+    # measured 6600/850 ~ 7.8x with 8 nodes).
+    assert sats["Slice-8"] > sats["NFS"] * 3.0

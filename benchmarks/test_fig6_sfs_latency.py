@@ -1,0 +1,87 @@
+"""Figure 6: SPECsfs97 latency as a function of delivered throughput.
+
+The paper plots mean request latency against delivered IOPS for the same
+configurations as Figure 5, noting that "latency jumps are evident in the
+Slice results as the ensemble overflows its 1 GB cache on the small-file
+servers, but the prototype delivers acceptable latency at all workload
+levels up to saturation."  For reference it overlays vendor-reported
+numbers for the EMC Celerra 506 (32 drives, 4 GB cache) — reproduced here
+as the published constants, exactly as the paper used them.
+"""
+
+import pytest
+
+from repro.metrics.report import format_series, format_table
+
+from conftest import SCALE, run_once
+from sfs_common import SF_CACHE, SfsHarness, fileset_spec
+
+# Vendor-reported reference points (spec.org, 4Q99), as cited in the paper:
+# the Celerra 506 delivered ~10 ms at low load up to ~15,700 IOPS.
+CELERRA_POINTS = [(2000, 4.9), (6000, 5.6), (10000, 7.0), (15700, 10.5)]
+
+LOADS = [500, 1500, 3000, 5000, 8000]
+CONFIGS = [
+    ("Slice-2", dict(num_storage_nodes=2)),
+    ("Slice-8", dict(num_storage_nodes=8)),
+]
+
+
+def test_fig6_sfs_latency(benchmark):
+    series = {}
+    overflow = {}
+
+    def experiment():
+        for name, kwargs in CONFIGS:
+            harness = SfsHarness(name, nfiles=2400, **kwargs)
+            series[name] = harness.sweep(LOADS)
+            used = sum(s.cache.used for s in harness.cluster.sf_servers)
+            capacity = sum(
+                s.cache.capacity for s in harness.cluster.sf_servers
+            )
+            overflow[name] = used / capacity
+        # The cache-overflow contrast: the same configuration and load with
+        # a file set that *fits* the ensemble small-file cache shows the
+        # latency level before the jump.
+        fitting_files = int((0.6 * 2 * SF_CACHE) / (27 << 10))
+        harness = SfsHarness(
+            "Slice-2-fits", num_storage_nodes=2, nfiles=fitting_files
+        )
+        series["Slice-2 (fits in cache)"] = [
+            harness.run_point(LOADS[1]), harness.run_point(LOADS[2])
+        ]
+        return series
+
+    run_once(benchmark, experiment)
+
+    rows = []
+    for name in series:
+        for result in series[name]:
+            rows.append((
+                name, f"{result.achieved_iops:.0f}",
+                f"{result.mean_latency_ms:.1f}ms",
+                f"{result.p95_latency_ms:.1f}ms",
+            ))
+    for iops, latency in CELERRA_POINTS:
+        rows.append(("EMC Celerra 506 (vendor)", iops, f"{latency:.1f}ms", "-"))
+    print(format_table(
+        ["config", "delivered IOPS", "mean latency", "p95"],
+        rows,
+        title=f"Figure 6: SPECsfs latency vs delivered throughput (scale={SCALE})",
+    ))
+
+    for name, _k in CONFIGS:
+        results = series[name]
+        # Latency rises toward saturation but stays "acceptable" (the
+        # paper's observation) until the knee.
+        assert results[0].mean_latency_ms < results[-1].mean_latency_ms
+        assert results[0].mean_latency_ms < 25.0
+    # Cache overflow produces the latency jump: at the same offered load
+    # (the mid grid point, where misses actually queue), the oversized file
+    # set is clearly slower than the cacheable one.
+    fits = series["Slice-2 (fits in cache)"][1].mean_latency_ms
+    spills = series["Slice-2"][2].mean_latency_ms
+    assert spills > fits * 1.3
+    # More storage nodes push the latency knee to higher throughput.
+    knee = lambda rs: max(r.achieved_iops for r in rs)
+    assert knee(series["Slice-8"]) > knee(series["Slice-2"]) * 1.1

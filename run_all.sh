@@ -1,0 +1,5 @@
+#!/bin/sh
+# Reproduce everything: full test suite, then every paper table/figure.
+set -x
+pytest tests/ 2>&1 | tee test_output.txt
+pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt

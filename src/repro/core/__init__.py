@@ -1,0 +1,21 @@
+"""The paper's core contribution: the interposed request-routing µproxy."""
+
+from .attrcache import AttrCache, CachedAttrs
+from .cost import CostModel, CostParams, PHASES
+from .placement import BlockMapCache, IoPolicy, StaticPlacement
+from .routing import RoutingTable
+from .uproxy import ProxyParams, UProxy
+
+__all__ = [
+    "AttrCache",
+    "BlockMapCache",
+    "CachedAttrs",
+    "CostModel",
+    "CostParams",
+    "IoPolicy",
+    "PHASES",
+    "ProxyParams",
+    "RoutingTable",
+    "StaticPlacement",
+    "UProxy",
+]

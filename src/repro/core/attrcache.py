@@ -1,0 +1,152 @@
+"""µproxy attribute cache (§4.1).
+
+Directory servers hold the authoritative attributes, but they never see the
+bulk I/O that changes size/mtime/atime.  The µproxy therefore caches the
+attributes returned in NFS responses, updates them as it routes each I/O
+operation, patches them into every response (clients depend on complete
+post-op attributes), and pushes modified attributes back to the directory
+server with a synthesized SETATTR on eviction, commit, or a periodic timer
+that bounds drift.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.nfs.fhandle import FHandle
+from repro.nfs.types import Fattr3
+
+__all__ = ["AttrCache", "CachedAttrs"]
+
+
+@dataclass
+class CachedAttrs:
+    fh: FHandle
+    attrs: Fattr3
+    dirty: bool = False
+    # Size last confirmed by (or pushed to) the directory server; writebacks
+    # never shrink below it, so a racing writeback cannot truncate data.
+    server_size: int = 0
+    last_writeback: float = 0.0
+
+
+class AttrCache:
+    """LRU of per-file attributes with dirty tracking."""
+
+    def __init__(self, capacity: int = 8192):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, CachedAttrs]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fileid: int) -> Optional[CachedAttrs]:
+        """LRU-touching lookup; None on miss."""
+        entry = self._entries.get(fileid)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fileid)
+        self.hits += 1
+        return entry
+
+    def peek(self, fileid: int) -> Optional[CachedAttrs]:
+        """Lookup without touching LRU order or hit statistics."""
+        return self._entries.get(fileid)
+
+    def update_from_server(self, fh: FHandle, attrs: Fattr3) -> List[CachedAttrs]:
+        """Merge attributes from a server reply; returns evicted dirty
+        entries the caller must write back."""
+        entry = self._entries.get(fh.fileid)
+        if entry is None:
+            entry = CachedAttrs(fh, attrs.copy(), server_size=attrs.size)
+            self._entries[fh.fileid] = entry
+            self._entries.move_to_end(fh.fileid)
+            return self._evict()
+        self._entries.move_to_end(fh.fileid)
+        if entry.dirty:
+            # Our I/O-derived size/times are newer than the server's copy;
+            # keep them, take everything else.
+            ours = entry.attrs
+            merged = attrs.copy(
+                size=max(attrs.size, ours.size),
+                mtime=max(attrs.mtime, ours.mtime),
+                atime=max(attrs.atime, ours.atime),
+                ctime=max(attrs.ctime, ours.ctime),
+            )
+            entry.attrs = merged
+        else:
+            entry.attrs = attrs.copy()
+            entry.server_size = attrs.size
+        return self._evict()
+
+    def note_write(self, fh: FHandle, offset: int, count: int, now: float
+                   ) -> List[CachedAttrs]:
+        """Record a routed WRITE: grow size, stamp mtime, mark dirty.
+
+        Returns evicted dirty entries the caller must write back."""
+        entry = self._entries.get(fh.fileid)
+        if entry is None:
+            entry = CachedAttrs(fh, Fattr3(fileid=fh.fileid, ftype=fh.ftype))
+            self._entries[fh.fileid] = entry
+        self._entries.move_to_end(fh.fileid)
+        entry.attrs.size = max(entry.attrs.size, offset + count)
+        entry.attrs.used = entry.attrs.size
+        entry.attrs.mtime = now
+        entry.attrs.ctime = now
+        entry.dirty = True
+        return self._evict()
+
+    def note_read(self, fh: FHandle, now: float) -> None:
+        """Record a routed READ: refresh atime on the cached attributes."""
+        entry = self._entries.get(fh.fileid)
+        if entry is not None:
+            entry.attrs.atime = now
+            entry.dirty = True
+
+    def note_truncate(self, fh: FHandle, size: int, now: float) -> None:
+        """Record a client SETATTR that changed the file size."""
+        entry = self._entries.get(fh.fileid)
+        if entry is not None:
+            entry.attrs.size = size
+            entry.attrs.mtime = now
+            entry.server_size = min(entry.server_size, size)
+            # The client's SETATTR informs the directory server directly;
+            # nothing left to write back for the size.
+
+    def drop(self, fileid: int) -> None:
+        """Forget an entry (e.g. its handle went stale at the server)."""
+        self._entries.pop(fileid, None)
+
+    def mark_clean(self, fileid: int, now: float) -> None:
+        """A write-back reached the directory server; note the new base."""
+        entry = self._entries.get(fileid)
+        if entry is not None:
+            entry.dirty = False
+            entry.server_size = entry.attrs.size
+            entry.last_writeback = now
+
+    def dirty_entries(self, older_than: float) -> List[CachedAttrs]:
+        """Dirty entries whose last writeback precedes ``older_than``."""
+        return [
+            e for e in self._entries.values()
+            if e.dirty and e.last_writeback <= older_than
+        ]
+
+    def clear(self) -> None:
+        """µproxy state loss: all cached (and dirty) attributes vanish."""
+        self._entries.clear()
+
+    def _evict(self) -> List[CachedAttrs]:
+        evicted: List[CachedAttrs] = []
+        while len(self._entries) > self.capacity:
+            _fid, entry = self._entries.popitem(last=False)
+            if entry.dirty:
+                evicted.append(entry)
+        return evicted

@@ -1,0 +1,76 @@
+"""µproxy routing tables (§3, §3.3.1).
+
+A routing table maps *logical server sites* to physical server addresses.
+The µproxy's copy is a hint: it may go stale during reconfiguration, in
+which case servers answer MISDIRECTED and the µproxy lazily reloads the
+table from the configuration service.  Keeping many logical sites per
+physical server makes the tables compact and sets the rebalancing
+granularity (~1/Nth of the data moves when a server joins or leaves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.net import Address
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """Versioned logical-site -> physical-address map."""
+
+    def __init__(self, entries: Sequence[Address], version: int = 1):
+        if not entries:
+            raise ValueError("routing table needs at least one entry")
+        self.entries: List[Address] = list(entries)
+        self.version = version
+
+    @property
+    def num_sites(self) -> int:
+        """Number of logical sites (table granularity)."""
+        return len(self.entries)
+
+    def lookup(self, site: int) -> Address:
+        """Physical server currently bound to a logical site."""
+        return self.entries[site % len(self.entries)]
+
+    def rebind(self, site: int, address: Address) -> None:
+        """Point one logical site at a new physical server (bumps version)."""
+        self.entries[site % len(self.entries)] = address
+        self.version += 1
+
+    def replace(self, entries: Sequence[Address], version: int) -> None:
+        """Install a freshly fetched table (e.g. after MISDIRECTED)."""
+        if version >= self.version:
+            self.entries = list(entries)
+            self.version = version
+
+    def servers(self) -> List[Address]:
+        """Distinct physical servers, in first-appearance order."""
+        seen: Dict[Address, None] = {}
+        for addr in self.entries:
+            seen.setdefault(addr)
+        return list(seen)
+
+    def sites_of(self, address: Address) -> List[int]:
+        """Logical sites bound to one physical server."""
+        return [s for s, a in enumerate(self.entries) if a == address]
+
+    def to_wire(self) -> Dict:
+        """JSON-able form served by the configuration service."""
+        return {
+            "version": self.version,
+            "entries": [[a.host, a.port] for a in self.entries],
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict) -> "RoutingTable":
+        """Rebuild a table fetched from the configuration service."""
+        return cls(
+            [Address(h, p) for h, p in doc["entries"]], doc["version"]
+        )
+
+    def copy(self) -> "RoutingTable":
+        """Independent copy (each µproxy holds its own hint table)."""
+        return RoutingTable(list(self.entries), self.version)

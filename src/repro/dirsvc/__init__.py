@@ -1,0 +1,21 @@
+"""Directory service: name space and attribute management."""
+
+from .backing import BackingRegistry
+from .config import MKDIR_SWITCHING, NAME_HASHING, NameConfig
+from .server import DIR_PORT, DirectoryServer, DirServerParams
+from .state import ROOT_FILEID, AttrCell, NameCell, SiteState, make_root_cell
+
+__all__ = [
+    "AttrCell",
+    "BackingRegistry",
+    "DIR_PORT",
+    "DirServerParams",
+    "DirectoryServer",
+    "MKDIR_SWITCHING",
+    "NAME_HASHING",
+    "NameCell",
+    "NameConfig",
+    "ROOT_FILEID",
+    "SiteState",
+    "make_root_cell",
+]

@@ -1,0 +1,60 @@
+"""Per-key locks used to serialize conflicting name-space operations.
+
+Conflicting operations on one name entry serialize "on the shared hash
+chain" (§3.2); here that is an explicit lock per cell key.  Transaction
+prepares use ``try_acquire`` so that cross-site lock cycles resolve by
+abort-and-retry instead of deadlock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable
+
+from repro.sim import Simulator
+
+__all__ = ["KeyLocks"]
+
+
+class KeyLocks:
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._held: Dict[Hashable, deque] = {}
+
+    def try_acquire(self, key: Hashable) -> bool:
+        """Non-blocking; True if the lock was taken."""
+        if key in self._held:
+            return False
+        self._held[key] = deque()
+        return True
+
+    def acquire(self, key: Hashable):
+        """Generator: block until the lock is taken."""
+        waiters = self._held.get(key)
+        if waiters is None:
+            self._held[key] = deque()
+            yield self.sim.timeout(0)
+            return
+        event = self.sim.event()
+        waiters.append(event)
+        yield event
+
+    def release(self, key: Hashable) -> None:
+        """Release; ownership passes to the oldest waiter, if any."""
+        waiters = self._held.get(key)
+        if waiters is None:
+            return
+        if waiters:
+            waiters.popleft().succeed(None)
+            # Ownership passes to the woken waiter; queue object persists.
+        else:
+            del self._held[key]
+
+    def held(self, key: Hashable) -> bool:
+        """True while anyone holds the lock."""
+        return key in self._held
+
+    def release_all(self, keys) -> None:
+        """Release several locks (abort paths)."""
+        for key in keys:
+            self.release(key)

@@ -1,0 +1,193 @@
+"""Peer-to-peer protocol between directory servers (§4.3).
+
+Directory servers use "a simple peer-peer protocol to update link counts
+for create/link/remove and mkdir/rmdir operations that cross sites, and to
+follow cross-site links for lookup, getattr/setattr, and readdir".  Cross-
+site *updates* run as two-participant transactions: the serving site
+prepares its peer, logs its own decision, then commits — the two-phase
+commit §3.3.2 prescribes for fixed placement.
+
+This is an internal control-plane protocol between trusted servers, so op
+payloads are JSON documents (bytes hex-encoded) carried in XDR strings;
+clients never see it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, NamedTuple
+
+from repro.rpc.xdr import Decoder, Encoder
+
+__all__ = [
+    "SLICE_PEER_PROGRAM",
+    "PEER_V1",
+    "PEER_GET_ATTRS",
+    "PEER_GET_ENTRY",
+    "PEER_COUNT",
+    "PEER_TOUCH",
+    "PEER_PREPARE",
+    "PEER_COMMIT",
+    "PEER_ABORT",
+    "PEER_RESOLVE",
+    "PREPARE_OK",
+    "PREPARE_CONFLICT",
+    "PREPARE_REJECT",
+    "RESOLVE_COMMITTED",
+    "RESOLVE_ABORTED",
+    "RESOLVE_UNKNOWN",
+    "encode_json",
+    "decode_json",
+    "encode_key_args",
+    "decode_key_args",
+    "encode_entry_args",
+    "decode_entry_args",
+    "encode_count_args",
+    "decode_count_args",
+    "encode_touch_args",
+    "decode_touch_args",
+    "encode_prepare_args",
+    "decode_prepare_args",
+    "encode_txid_args",
+    "decode_txid_args",
+]
+
+SLICE_PEER_PROGRAM = 395902
+PEER_V1 = 1
+
+PEER_GET_ATTRS = 1
+PEER_GET_ENTRY = 2
+PEER_COUNT = 3
+PEER_TOUCH = 4
+PEER_PREPARE = 5
+PEER_COMMIT = 6
+PEER_ABORT = 7
+PEER_RESOLVE = 8
+
+PREPARE_OK = 0
+PREPARE_CONFLICT = 1  # busy lock: abort and retry
+PREPARE_REJECT = 2  # semantic validation failed (reason carried alongside)
+
+RESOLVE_COMMITTED = 0
+RESOLVE_ABORTED = 1
+RESOLVE_UNKNOWN = 2
+
+
+def encode_json(document) -> bytes:
+    return Encoder().string(json.dumps(document, separators=(",", ":"))).to_bytes()
+
+
+def decode_json(dec: Decoder):
+    return json.loads(dec.string(1 << 20))
+
+
+class KeyArgs(NamedTuple):
+    site: int
+    key_hex: str
+
+
+def encode_key_args(site: int, key: bytes) -> bytes:
+    enc = Encoder()
+    enc.u32(site)
+    enc.string(key.hex())
+    return enc.to_bytes()
+
+
+def decode_key_args(dec: Decoder) -> KeyArgs:
+    return KeyArgs(dec.u32(), dec.string(64))
+
+
+class EntryArgs(NamedTuple):
+    site: int
+    parent_fileid: int
+    name: str
+
+
+def encode_entry_args(site: int, parent_fileid: int, name: str) -> bytes:
+    enc = Encoder()
+    enc.u32(site)
+    enc.u64(parent_fileid)
+    enc.string(name)
+    return enc.to_bytes()
+
+
+def decode_entry_args(dec: Decoder) -> EntryArgs:
+    return EntryArgs(dec.u32(), dec.u64(), dec.string(255))
+
+
+class CountArgs(NamedTuple):
+    dir_fileid: int
+    sites: List[int]
+
+
+def encode_count_args(dir_fileid: int, sites: List[int]) -> bytes:
+    """Count entries of a directory across several logical sites hosted by
+    one physical server (batched so an rmdir emptiness check costs one RPC
+    per server, not one per logical site)."""
+    enc = Encoder()
+    enc.u64(dir_fileid)
+    enc.array(sites, lambda e, s: e.u32(s))
+    return enc.to_bytes()
+
+
+def decode_count_args(dec: Decoder) -> CountArgs:
+    return CountArgs(dec.u64(), dec.array(lambda d: d.u32()))
+
+
+class TouchArgs(NamedTuple):
+    site: int
+    key_hex: str
+    mtime: float
+
+
+def encode_touch_args(site: int, key: bytes, mtime: float) -> bytes:
+    enc = Encoder()
+    enc.u32(site)
+    enc.string(key.hex())
+    enc.u64(int(mtime * 1e6))
+    return enc.to_bytes()
+
+
+def decode_touch_args(dec: Decoder) -> TouchArgs:
+    site = dec.u32()
+    key_hex = dec.string(64)
+    mtime = dec.u64() / 1e6
+    return TouchArgs(site, key_hex, mtime)
+
+
+class PrepareArgs(NamedTuple):
+    txid: str
+    site: int  # target logical site at the remote server
+    coord_site: int  # logical site of the transaction coordinator
+    ops: List[Dict]
+
+
+def encode_prepare_args(txid: str, site: int, coord_site: int, ops: List[Dict]) -> bytes:
+    enc = Encoder()
+    enc.string(txid)
+    enc.u32(site)
+    enc.u32(coord_site)
+    enc.string(json.dumps(ops, separators=(",", ":")))
+    return enc.to_bytes()
+
+
+def decode_prepare_args(dec: Decoder) -> PrepareArgs:
+    return PrepareArgs(
+        dec.string(64), dec.u32(), dec.u32(), json.loads(dec.string(1 << 20))
+    )
+
+
+class TxidArgs(NamedTuple):
+    txid: str
+    site: int
+
+
+def encode_txid_args(txid: str, site: int) -> bytes:
+    enc = Encoder()
+    enc.string(txid)
+    enc.u32(site)
+    return enc.to_bytes()
+
+
+def decode_txid_args(dec: Decoder) -> TxidArgs:
+    return TxidArgs(dec.string(64), dec.u32())

@@ -1,0 +1,196 @@
+"""Slice ensemble builder.
+
+Wires together the full Figure-1 architecture on a simulated switched LAN:
+network storage nodes, block-service coordinators, directory servers,
+small-file servers, the configuration service, and — per client — a µproxy
+interposed on the client host's network path to the virtual NFS server.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core import CostModel, ProxyParams, RoutingTable, UProxy
+from repro.dirsvc import (
+    BackingRegistry,
+    DirectoryServer,
+    NameConfig,
+    SiteState,
+    make_root_cell,
+)
+from repro.net import Address, Network
+from repro.nfs.client import ClientParams, NfsClient
+from repro.sim import Simulator
+from repro.smallfile import SmallFileServer
+from repro.storage.coordinator import Coordinator
+from repro.storage.disk import LogDevice
+from repro.storage.node import StorageNode
+from .configsvc import ConfigService
+from .params import ClusterParams
+
+__all__ = ["SliceCluster"]
+
+
+class SliceCluster:
+    """One complete Slice ensemble plus its clients."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        params: Optional[ClusterParams] = None,
+    ):
+        self.sim = sim or Simulator()
+        self.params = params or ClusterParams()
+        p = self.params
+        self.net = Network(self.sim, p.net)
+        self.name_config: NameConfig = p.name_config()
+        self.virtual = Address("slice-fs", 2049)
+
+        # -- storage nodes ---------------------------------------------------
+        self.storage_nodes: List[StorageNode] = []
+        for i in range(p.num_storage_nodes):
+            host = self.net.add_host(f"store{i}", cpu_speedup=1.6)
+            self.storage_nodes.append(StorageNode(self.sim, host, p.storage))
+        self.storage_addrs = [n.address for n in self.storage_nodes]
+
+        # -- shared backing state for dataless managers ------------------------
+        self.backing = BackingRegistry(self.sim)
+        root_state = SiteState(0)
+        root_state.put_attr_cell(make_root_cell())
+        self.backing.site("dir", 0).checkpoint(root_state.snapshot())
+
+        # -- small-file servers ------------------------------------------------
+        self.sf_servers: List[SmallFileServer] = []
+        for i in range(p.num_sf_servers):
+            host = self.net.add_host(f"sf{i}")
+            sites = [
+                s for s in range(p.sf_logical_sites)
+                if s % p.num_sf_servers == i
+            ]
+            self.sf_servers.append(
+                SmallFileServer(
+                    self.sim, host, self.backing, sites, self.storage_addrs,
+                    p.sf_logical_sites, p.smallfile,
+                )
+            )
+
+        # -- coordinators ------------------------------------------------------
+        data_sites = self.storage_addrs + [s.address for s in self.sf_servers]
+        self.coordinators: List[Coordinator] = []
+        for i in range(p.num_coordinators):
+            host = self.net.add_host(f"coord{i}")
+            self.coordinators.append(
+                Coordinator(
+                    self.sim, host, data_sites, p.num_storage_nodes,
+                    p.coordinator,
+                )
+            )
+        self.coordinator_addrs = [c.address for c in self.coordinators]
+
+        # -- directory servers ---------------------------------------------------
+        self.dir_servers: List[DirectoryServer] = []
+        self.dir_log_devices: List["LogDevice"] = []
+        for i in range(p.num_dir_servers):
+            host = self.net.add_host(f"dir{i}")
+            sites = [
+                s for s in range(p.dir_logical_sites)
+                if s % p.num_dir_servers == i
+            ]
+            server = DirectoryServer(
+                self.sim, host, self.name_config, self.backing, sites,
+                peer_lookup=self._dir_addr_for_site,
+                coordinator=self.coordinator_addrs[0] if self.coordinators else None,
+                params=p.dirsvc,
+                mirror_files=p.mirror_files,
+            )
+            self.dir_servers.append(server)
+            # Each manager journals to its own dedicated log spindle; all of
+            # its logical sites' flushes append to the one sequential stream.
+            device = LogDevice(self.sim)
+            self.dir_log_devices.append(device)
+            for site in sites:
+                log = self.backing.site("dir", site).log
+                log.write_cost = device.cost_fn()
+
+        # -- routing tables & configuration service ---------------------------------
+        self.dir_table = RoutingTable(
+            [
+                self.dir_servers[s % p.num_dir_servers].address
+                for s in range(p.dir_logical_sites)
+            ]
+        )
+        self.sf_table = RoutingTable(
+            [
+                self.sf_servers[s % p.num_sf_servers].address
+                for s in range(p.sf_logical_sites)
+            ]
+        ) if self.sf_servers else None
+        config_host = self.net.add_host("configsvc")
+        self.configsvc = ConfigService(
+            self.sim, config_host, fill_checksums=p.verify_checksums
+        )
+        self.configsvc.set_table("dir", self.dir_table)
+        if self.sf_table is not None:
+            self.configsvc.set_table("sf", self.sf_table)
+
+        self.root_fh = make_root_cell().to_fh(1).pack()
+        self.clients: List[Tuple[NfsClient, UProxy]] = []
+
+    # -- wiring helpers -----------------------------------------------------
+
+    def _dir_addr_for_site(self, site: int) -> Address:
+        return self.dir_table.lookup(site)
+
+    # -- clients ----------------------------------------------------------
+
+    def add_client(
+        self,
+        name: Optional[str] = None,
+        client_params: Optional[ClientParams] = None,
+        proxy_params: Optional[ProxyParams] = None,
+        cost: Optional[CostModel] = None,
+        port: int = 700,
+    ) -> Tuple[NfsClient, UProxy]:
+        """Attach a client host with an interposed µproxy; returns both."""
+        name = name or f"client{len(self.clients)}"
+        host = self.net.add_host(name)
+        pp = proxy_params or ProxyParams()
+        pp.fill_checksums = self.params.verify_checksums
+        proxy = UProxy(
+            self.sim, host, self.virtual, self.name_config, self.params.io,
+            self.dir_table.copy(),
+            self.sf_table.copy() if self.sf_table is not None else None,
+            self.storage_addrs, self.coordinator_addrs,
+            configsvc=self.configsvc.address,
+            cost=cost,
+            params=pp,
+            proxy_id=len(self.clients) + 1,
+        )
+        cp = client_params or self.params.client
+        client = NfsClient(self.sim, host, self.virtual, port=port, params=cp)
+        self.clients.append((client, proxy))
+        return client, proxy
+
+    # -- reconfiguration ------------------------------------------------------
+
+    def move_dir_site(self, site: int, to_server: int) -> int:
+        """Migrate one logical directory site to another physical server.
+
+        Updates the authoritative table at the config service only; stale
+        µproxies learn via MISDIRECTED.  Returns the number of cells moved.
+        """
+        old_addr = self.dir_table.lookup(site)
+        old_server = next(
+            s for s in self.dir_servers if s.address == old_addr
+        )
+        moved = old_server.unload_site(site)
+        target = self.dir_servers[to_server]
+        target.load_site(site)
+        log = self.backing.site("dir", site).log
+        log.write_cost = self.dir_log_devices[to_server].cost_fn()
+        self.configsvc.rebind("dir", site, target.address)
+        return moved
+
+    def run(self, gen, name: str = "driver"):
+        """Run a generator to completion on the cluster's simulator."""
+        return self.sim.run_process(gen, name)

@@ -1,0 +1,72 @@
+"""Configuration service: the external source of µproxy routing tables.
+
+The µproxy's routing tables are soft state ("the mapping is determined
+externally, so the µproxy never modifies the tables", §3).  This small RPC
+service is that external source: reconfiguration updates the tables here,
+and µproxies lazily reload after a server answers MISDIRECTED.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.net import Host
+from repro.rpc import RpcServer
+from repro.rpc.xdr import Decoder, Encoder
+from repro.core.routing import RoutingTable
+from repro.util.bytesim import EMPTY
+
+__all__ = ["ConfigService", "SLICE_CONFIG_PROGRAM", "CONFIG_GET", "CONFIG_PORT"]
+
+SLICE_CONFIG_PROGRAM = 395903
+CONFIG_V1 = 1
+CONFIG_GET = 1
+CONFIG_PORT = 7049
+
+
+class ConfigService:
+    """Authoritative registry of named routing tables."""
+
+    def __init__(self, sim, host: Host, port: int = CONFIG_PORT,
+                 fill_checksums: bool = True):
+        self.sim = sim
+        self.host = host
+        self.tables: Dict[str, RoutingTable] = {}
+        self.server = RpcServer(host, port, fill_checksums=fill_checksums)
+        self.server.register(SLICE_CONFIG_PROGRAM, self._service)
+        self.fetches = 0
+
+    @property
+    def address(self):
+        return self.server.address
+
+    def set_table(self, name: str, table: RoutingTable) -> None:
+        self.tables[name] = table
+
+    def get_table(self, name: str) -> RoutingTable:
+        return self.tables[name]
+
+    def rebind(self, name: str, site: int, address) -> None:
+        """Reconfiguration: point one logical site at a new server."""
+        self.tables[name].rebind(site, address)
+
+    def _service(self, proc: int, dec: Decoder, body, src):
+        yield from ()
+        if proc != CONFIG_GET:
+            from repro.rpc.endpoint import RpcAcceptError
+            from repro.rpc.messages import PROC_UNAVAIL
+
+            raise RpcAcceptError(PROC_UNAVAIL)
+        self.fetches += 1
+        doc = {
+            name: table.to_wire() for name, table in self.tables.items()
+        }
+        enc = Encoder()
+        enc.string(json.dumps(doc, separators=(",", ":")))
+        return enc.to_bytes(), EMPTY
+
+
+def decode_tables(dec: Decoder) -> Dict[str, RoutingTable]:
+    doc = json.loads(dec.string(1 << 20))
+    return {name: RoutingTable.from_wire(w) for name, w in doc.items()}

@@ -1,0 +1,13 @@
+"""Measurement and reporting utilities."""
+
+from .report import banner, format_series, format_table
+from .stats import Counter, LatencyRecorder, ThroughputWindow
+
+__all__ = [
+    "Counter",
+    "LatencyRecorder",
+    "ThroughputWindow",
+    "banner",
+    "format_series",
+    "format_table",
+]

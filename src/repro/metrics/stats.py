@@ -1,0 +1,91 @@
+"""Measurement primitives for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["LatencyRecorder", "Counter", "ThroughputWindow"]
+
+
+class LatencyRecorder:
+    """Collects latency samples; reports mean/percentiles."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, math.ceil(p * len(ordered)) - 1))
+        return ordered[index]
+
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def clear(self) -> None:
+        self.samples.clear()
+
+
+class Counter:
+    """A named monotonic counter with snapshot deltas."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+        self._mark = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def mark(self) -> None:
+        self._mark = self.value
+
+    def since_mark(self) -> int:
+        return self.value - self._mark
+
+
+class ThroughputWindow:
+    """Computes rates over an explicit measurement window."""
+
+    def __init__(self):
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+        self.events = 0
+        self.bytes = 0
+
+    def start(self, now: float) -> None:
+        self._start = now
+        self.events = 0
+        self.bytes = 0
+
+    def record(self, nbytes: int = 0) -> None:
+        self.events += 1
+        self.bytes += nbytes
+
+    def stop(self, now: float) -> None:
+        self._end = now
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None or self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    def ops_per_second(self) -> float:
+        return self.events / self.elapsed if self.elapsed > 0 else 0.0
+
+    def bytes_per_second(self) -> float:
+        return self.bytes / self.elapsed if self.elapsed > 0 else 0.0

@@ -1,0 +1,15 @@
+"""Network substrate: checksums, packets, hosts, and the switched LAN."""
+
+from .address import Address
+from .host import Host, PacketFilter
+from .network import NetParams, Network
+from .packet import Packet
+
+__all__ = [
+    "Address",
+    "Host",
+    "NetParams",
+    "Network",
+    "Packet",
+    "PacketFilter",
+]

@@ -1,0 +1,121 @@
+"""The switched LAN: hosts joined by a store-and-forward switch.
+
+Models the paper's testbed fabric (Gigabit Ethernet, jumbo frames, one
+32-port switch): a packet serializes out of the sender's NIC, crosses the
+switch fabric, queues for the destination's output port, serializes again,
+and is delivered after propagation.  Per-frame overhead and MTU framing are
+charged so bandwidth numbers reflect goodput, not raw line rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.sim import Resource, Simulator
+from .host import Host
+from .packet import Packet
+
+__all__ = ["NetParams", "Network"]
+
+
+@dataclass
+class NetParams:
+    """Fabric parameters (defaults approximate the paper's Gigabit LAN)."""
+
+    bandwidth: float = 125e6  # bytes/s per link (1 Gb/s)
+    mtu: int = 9000  # jumbo frames
+    frame_overhead: int = 42  # Ethernet + preamble + IFG per frame
+    fabric_latency: float = 10e-6  # switch cut-through / forwarding decision
+    propagation: float = 2e-6  # per link
+
+
+class Network:
+    """Hosts plus the switch connecting them."""
+
+    def __init__(self, sim: Simulator, params: Optional[NetParams] = None):
+        self.sim = sim
+        self.params = params or NetParams()
+        self.hosts: Dict[str, Host] = {}
+        self._output_ports: Dict[str, Resource] = {}
+        # Optional fault hook: return True to drop the packet silently.
+        self.drop_fn: Optional[Callable[[Packet], bool]] = None
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.bytes_delivered = 0
+
+    # -- topology --------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        cpu_cores: int = 1,
+        cpu_speedup: float = 1.0,
+        link_bandwidth: Optional[float] = None,
+        clock_skew: float = 0.0,
+    ) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name: {name}")
+        host = Host(
+            self.sim,
+            name,
+            self,
+            cpu_cores=cpu_cores,
+            cpu_speedup=cpu_speedup,
+            link_bandwidth=link_bandwidth,
+            clock_skew=clock_skew,
+        )
+        self.hosts[name] = host
+        self._output_ports[name] = Resource(self.sim, 1)
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    # -- timing ----------------------------------------------------------
+
+    def wire_time(self, size: int, bandwidth: float) -> float:
+        """Serialization time for ``size`` payload bytes incl. framing."""
+        frames = max(1, math.ceil(size / self.params.mtu))
+        return (size + frames * self.params.frame_overhead) / bandwidth
+
+    def _link_bw(self, host: Host) -> float:
+        return host.link_bandwidth or self.params.bandwidth
+
+    # -- data path ---------------------------------------------------------
+
+    def transmit(self, src_host: Host, packet: Packet) -> None:
+        """Launch the store-and-forward journey of one packet."""
+        if self.drop_fn is not None and self.drop_fn(packet):
+            self.packets_dropped += 1
+            return
+        dst_host = self.hosts.get(packet.dst.host)
+        if dst_host is None:
+            self.packets_dropped += 1
+            return
+        self.sim.process(
+            self._journey(src_host, dst_host, packet),
+            name=f"pkt:{packet.src}->{packet.dst}",
+        )
+
+    def _journey(self, src_host: Host, dst_host: Host, packet: Packet):
+        params = self.params
+        size = packet.size
+        # 1. Serialize out of the sender's NIC.
+        yield from src_host.nic_tx.use(self.wire_time(size, self._link_bw(src_host)))
+        yield self.sim.timeout(params.propagation + params.fabric_latency)
+        if src_host is dst_host:
+            # Same-host traffic short-circuits the switch output port.
+            self._arrive(dst_host, packet)
+            return
+        # 2. Queue for, then serialize onto, the destination's switch port.
+        port = self._output_ports[dst_host.name]
+        yield from port.use(self.wire_time(size, self._link_bw(dst_host)))
+        yield self.sim.timeout(params.propagation)
+        self._arrive(dst_host, packet)
+
+    def _arrive(self, dst_host: Host, packet: Packet) -> None:
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        dst_host.deliver(packet)

@@ -1,0 +1,18 @@
+"""NFS V3 protocol: types, file handles, procedure codec, client."""
+
+from . import errors, proto
+from .errors import NfsError, nfs_strerror
+from .fhandle import FLAG_MIRRORED, FHandle
+from .types import DirEntry, Fattr3, Sattr3
+
+__all__ = [
+    "DirEntry",
+    "FHandle",
+    "FLAG_MIRRORED",
+    "Fattr3",
+    "NfsError",
+    "Sattr3",
+    "errors",
+    "nfs_strerror",
+    "proto",
+]

@@ -1,0 +1,244 @@
+"""NFS V3 data types (RFC 1813): attributes, settable attributes, dir entries.
+
+Attribute encoding is byte-faithful (84-byte fattr3) because the µproxy
+patches size/time fields inside encoded replies using differential
+checksumming; the field offsets exported here are part of that contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.rpc.xdr import Decoder, Encoder
+
+__all__ = [
+    "NF3REG",
+    "NF3DIR",
+    "NF3BLK",
+    "NF3CHR",
+    "NF3LNK",
+    "NF3SOCK",
+    "NF3FIFO",
+    "UNSTABLE",
+    "DATA_SYNC",
+    "FILE_SYNC",
+    "UNCHECKED",
+    "GUARDED",
+    "EXCLUSIVE",
+    "ACCESS_READ",
+    "ACCESS_LOOKUP",
+    "ACCESS_MODIFY",
+    "ACCESS_EXTEND",
+    "ACCESS_DELETE",
+    "ACCESS_EXECUTE",
+    "Fattr3",
+    "Sattr3",
+    "DirEntry",
+    "FATTR3_SIZE",
+    "FATTR3_OFF_SIZE",
+    "FATTR3_OFF_ATIME",
+    "FATTR3_OFF_MTIME",
+    "FATTR3_OFF_CTIME",
+    "encode_time",
+    "decode_time",
+]
+
+NF3REG = 1
+NF3DIR = 2
+NF3BLK = 3
+NF3CHR = 4
+NF3LNK = 5
+NF3SOCK = 6
+NF3FIFO = 7
+
+UNSTABLE = 0
+DATA_SYNC = 1
+FILE_SYNC = 2
+
+UNCHECKED = 0
+GUARDED = 1
+EXCLUSIVE = 2
+
+ACCESS_READ = 0x0001
+ACCESS_LOOKUP = 0x0002
+ACCESS_MODIFY = 0x0004
+ACCESS_EXTEND = 0x0008
+ACCESS_DELETE = 0x0010
+ACCESS_EXECUTE = 0x0020
+
+# fattr3 field offsets within its 84-byte encoding.
+FATTR3_SIZE = 84
+FATTR3_OFF_SIZE = 20
+FATTR3_OFF_ATIME = 60
+FATTR3_OFF_MTIME = 68
+FATTR3_OFF_CTIME = 76
+
+
+def encode_time(enc: Encoder, seconds: float) -> None:
+    whole = int(seconds)
+    nanos = int(round((seconds - whole) * 1e9))
+    if nanos >= 10**9:
+        whole += 1
+        nanos -= 10**9
+    enc.u32(whole & 0xFFFFFFFF)
+    enc.u32(nanos)
+
+
+def decode_time(dec: Decoder) -> float:
+    whole = dec.u32()
+    nanos = dec.u32()
+    return whole + nanos / 1e9
+
+
+@dataclass
+class Fattr3:
+    """File attributes.  Times are float seconds since the epoch."""
+
+    ftype: int = NF3REG
+    mode: int = 0o644
+    nlink: int = 1
+    uid: int = 0
+    gid: int = 0
+    size: int = 0
+    used: int = 0
+    fsid: int = 0
+    fileid: int = 0
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+
+    def encode(self, enc: Encoder) -> None:
+        enc.u32(self.ftype)
+        enc.u32(self.mode)
+        enc.u32(self.nlink)
+        enc.u32(self.uid)
+        enc.u32(self.gid)
+        enc.u64(self.size)
+        enc.u64(self.used)
+        enc.u32(0)  # rdev major
+        enc.u32(0)  # rdev minor
+        enc.u64(self.fsid)
+        enc.u64(self.fileid)
+        encode_time(enc, self.atime)
+        encode_time(enc, self.mtime)
+        encode_time(enc, self.ctime)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Fattr3":
+        ftype = dec.u32()
+        mode = dec.u32()
+        nlink = dec.u32()
+        uid = dec.u32()
+        gid = dec.u32()
+        size = dec.u64()
+        used = dec.u64()
+        dec.u32()
+        dec.u32()
+        fsid = dec.u64()
+        fileid = dec.u64()
+        atime = decode_time(dec)
+        mtime = decode_time(dec)
+        ctime = decode_time(dec)
+        return cls(
+            ftype, mode, nlink, uid, gid, size, used, fsid, fileid,
+            atime, mtime, ctime,
+        )
+
+    def copy(self, **changes) -> "Fattr3":
+        return replace(self, **changes)
+
+
+def encode_post_op_attr(enc: Encoder, attr: Optional[Fattr3]) -> int:
+    """Encode post_op_attr; returns the byte offset of the fattr3 body
+    within the encoder (or -1 if absent) for in-place patching."""
+    if attr is None:
+        enc.boolean(False)
+        return -1
+    enc.boolean(True)
+    offset = enc.position
+    attr.encode(enc)
+    return offset
+
+
+def decode_post_op_attr(dec: Decoder) -> Tuple[Optional[Fattr3], int]:
+    """Decode post_op_attr; returns (attr, offset-of-fattr3-or-minus-1)."""
+    if not dec.boolean():
+        return None, -1
+    offset = dec.offset
+    return Fattr3.decode(dec), offset
+
+
+# Sattr3 time disposition.
+DONT_CHANGE = 0
+SET_TO_SERVER_TIME = 1
+SET_TO_CLIENT_TIME = 2
+
+
+@dataclass
+class Sattr3:
+    """Settable attributes: each field is None (don't change) or a value.
+
+    ``atime``/``mtime`` may also be the sentinel ``"server"`` meaning "set to
+    the server's current time" (SET_TO_SERVER_TIME).
+    """
+
+    mode: Optional[int] = None
+    uid: Optional[int] = None
+    gid: Optional[int] = None
+    size: Optional[int] = None
+    atime: object = None
+    mtime: object = None
+
+    def encode(self, enc: Encoder) -> None:
+        for value in (self.mode, self.uid, self.gid):
+            if value is None:
+                enc.boolean(False)
+            else:
+                enc.boolean(True)
+                enc.u32(value)
+        if self.size is None:
+            enc.boolean(False)
+        else:
+            enc.boolean(True)
+            enc.u64(self.size)
+        for value in (self.atime, self.mtime):
+            if value is None:
+                enc.u32(DONT_CHANGE)
+            elif value == "server":
+                enc.u32(SET_TO_SERVER_TIME)
+            else:
+                enc.u32(SET_TO_CLIENT_TIME)
+                encode_time(enc, value)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Sattr3":
+        mode = dec.u32() if dec.boolean() else None
+        uid = dec.u32() if dec.boolean() else None
+        gid = dec.u32() if dec.boolean() else None
+        size = dec.u64() if dec.boolean() else None
+
+        def time_field():
+            how = dec.u32()
+            if how == DONT_CHANGE:
+                return None
+            if how == SET_TO_SERVER_TIME:
+                return "server"
+            return decode_time(dec)
+
+        return cls(mode, uid, gid, size, time_field(), time_field())
+
+    def is_truncation(self) -> bool:
+        return self.size is not None
+
+
+@dataclass
+class DirEntry:
+    """One READDIR entry."""
+
+    fileid: int
+    name: str
+    cookie: int
+    # READDIRPLUS extras:
+    attr: Optional[Fattr3] = None
+    fh: Optional[bytes] = None

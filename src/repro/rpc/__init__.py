@@ -1,0 +1,18 @@
+"""ONC RPC over the simulated network: XDR, message headers, endpoints."""
+
+from .endpoint import RpcAcceptError, RpcClient, RpcServer, RpcTimeout
+from .messages import CallHeader, Credential, ReplyHeader
+from .xdr import Decoder, Encoder, XdrError
+
+__all__ = [
+    "CallHeader",
+    "Credential",
+    "Decoder",
+    "Encoder",
+    "ReplyHeader",
+    "RpcAcceptError",
+    "RpcClient",
+    "RpcServer",
+    "RpcTimeout",
+    "XdrError",
+]

@@ -1,0 +1,245 @@
+"""RPC endpoints: client with retransmission, server with a duplicate-request
+cache.
+
+These are the end-to-end protocol actors the µproxy interposes between.  The
+client matches replies by xid *and* source address — which is exactly why the
+µproxy must rewrite reply sources back to the virtual server address, and the
+reason a µproxy can discard its soft state without breaking correctness
+(retransmission recovers, §2.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.net import Address, Host, Packet
+from repro.util.bytesim import EMPTY, Data
+from .messages import (
+    SUCCESS,
+    CallHeader,
+    Credential,
+    ReplyHeader,
+)
+from .xdr import Decoder
+
+__all__ = ["RpcClient", "RpcServer", "RpcTimeout", "RpcAcceptError"]
+
+
+class RpcTimeout(Exception):
+    """The call was retransmitted to exhaustion with no reply."""
+
+
+class RpcAcceptError(Exception):
+    """The server accepted the message but rejected the call."""
+
+    def __init__(self, accept_stat: int):
+        super().__init__(f"rpc accept_stat={accept_stat}")
+        self.accept_stat = accept_stat
+
+
+class RpcClient:
+    """Originates calls from one (host, port) endpoint."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        cred: Optional[Credential] = None,
+        retrans_timeout: float = 0.7,
+        backoff: float = 2.0,
+        max_tries: int = 8,
+        fill_checksums: bool = True,
+        xid_seed: int = 0,
+    ):
+        self.host = host
+        self.port = port
+        self.cred = cred
+        self.retrans_timeout = retrans_timeout
+        self.backoff = backoff
+        self.max_tries = max_tries
+        self.fill_checksums = fill_checksums
+        self._next_xid = (xid_seed * 2654435761 + 1) & 0xFFFFFFFF
+        self._pending: Dict[int, Tuple[Address, object]] = {}
+        self.retransmissions = 0
+        self.calls_completed = 0
+        host.bind(port, self._on_packet)
+
+    @property
+    def address(self) -> Address:
+        return self.host.address(self.port)
+
+    def _on_packet(self, pkt: Packet) -> None:
+        if len(pkt.header) < 4:
+            return
+        if not pkt.checksum_ok():
+            return  # corrupt: treat as loss, retransmission recovers
+        xid = int.from_bytes(pkt.header[:4], "big")
+        entry = self._pending.get(xid)
+        if entry is None:
+            return  # late duplicate
+        expected_src, event = entry
+        if pkt.src != expected_src:
+            return  # reply from an unexpected server: ignore
+        del self._pending[xid]
+        if not event.triggered:
+            event.succeed(pkt)
+
+    def call(
+        self,
+        dst: Address,
+        prog: int,
+        vers: int,
+        proc: int,
+        args: bytes,
+        body: Data = EMPTY,
+        retrans_timeout: Optional[float] = None,
+        max_tries: Optional[int] = None,
+    ):
+        """Generator: perform one RPC; returns (results Decoder, reply body).
+
+        ``retrans_timeout``/``max_tries`` override the endpoint defaults for
+        this call (e.g. commits legitimately take longer than reads).
+        Raises :class:`RpcTimeout` after exhausting the retries and
+        :class:`RpcAcceptError` on a non-SUCCESS accept status.
+        """
+        sim = self.host.sim
+        xid = self._next_xid
+        self._next_xid = (self._next_xid + 1) & 0xFFFFFFFF
+        call_hdr = CallHeader(xid, prog, vers, proc, self.cred).encode()
+        header = call_hdr.to_bytes() + args
+        tries = max_tries if max_tries is not None else self.max_tries
+
+        def fresh_packet() -> Packet:
+            pkt = Packet(self.address, dst, header, body)
+            if self.fill_checksums:
+                pkt.fill_checksum()
+            return pkt
+
+        reply_event = sim.event()
+        self._pending[xid] = (dst, reply_event)
+        timeout = (
+            retrans_timeout if retrans_timeout is not None
+            else self.retrans_timeout
+        )
+        try:
+            for attempt in range(tries):
+                if attempt:
+                    self.retransmissions += 1
+                self.host.send(fresh_packet())
+                yield sim.any_of([reply_event, sim.timeout(timeout)])
+                if reply_event.triggered:
+                    break
+                timeout *= self.backoff
+            else:
+                raise RpcTimeout(
+                    f"xid={xid} to {dst} after {tries} tries"
+                )
+        finally:
+            self._pending.pop(xid, None)
+        reply_pkt: Packet = reply_event.value
+        dec = Decoder(reply_pkt.header)
+        reply = ReplyHeader.decode(dec)
+        if reply.accept_stat != SUCCESS:
+            raise RpcAcceptError(reply.accept_stat)
+        self.calls_completed += 1
+        return dec, reply_pkt.body
+
+
+class RpcServer:
+    """Serves one program on one (host, port) endpoint.
+
+    A *service* is a generator function ``service(proc, dec, body, src)``
+    that may yield simulation events (CPU, disk, nested RPCs) and returns
+    ``(result_bytes, reply_body)``.
+
+    The duplicate-request cache suppresses replays of non-idempotent
+    operations under client retransmission: duplicates of in-progress
+    requests are dropped; duplicates of completed requests get the cached
+    reply.
+    """
+
+    DRC_CAPACITY = 2048
+    _IN_PROGRESS = object()
+
+    def __init__(self, host: Host, port: int, fill_checksums: bool = True):
+        self.host = host
+        self.port = port
+        self.fill_checksums = fill_checksums
+        self.services: Dict[int, object] = {}
+        self._drc: OrderedDict = OrderedDict()
+        self.requests_handled = 0
+        self.duplicates_dropped = 0
+        self.duplicates_replayed = 0
+        host.bind(port, self._on_packet)
+
+    @property
+    def address(self) -> Address:
+        return self.host.address(self.port)
+
+    def register(self, prog: int, service) -> None:
+        self.services[prog] = service
+
+    def clear_duplicate_cache(self) -> None:
+        """Forget all cached replies (server reboot)."""
+        self._drc.clear()
+
+    def _on_packet(self, pkt: Packet) -> None:
+        if not pkt.checksum_ok():
+            return
+        self.host.sim.process(
+            self._handle(pkt), name=f"rpc-srv:{self.host.name}"
+        )
+
+    def _handle(self, pkt: Packet):
+        try:
+            dec = Decoder(pkt.header)
+            call = CallHeader.decode(dec)
+        except Exception:
+            return  # undecodable: drop
+        key = (pkt.src, call.xid)
+        cached = self._drc.get(key)
+        if cached is self._IN_PROGRESS:
+            self.duplicates_dropped += 1
+            return
+        if cached is not None:
+            self.duplicates_replayed += 1
+            header, body = cached
+            self.host.send(self._reply_packet(pkt.src, header, body))
+            return
+        service = self.services.get(call.prog)
+        if service is None:
+            from .messages import PROG_UNAVAIL
+
+            header = ReplyHeader(call.xid, PROG_UNAVAIL).encode().to_bytes()
+            self.host.send(self._reply_packet(pkt.src, header, EMPTY))
+            return
+        self._drc_put(key, self._IN_PROGRESS)
+        try:
+            result = yield from service(call.proc, dec, pkt.body, pkt.src)
+        except RpcAcceptError as exc:
+            header = ReplyHeader(call.xid, exc.accept_stat).encode().to_bytes()
+            self._drc_put(key, (header, EMPTY))
+            self.host.send(self._reply_packet(pkt.src, header, EMPTY))
+            return
+        if result is None:
+            # Service chose to drop (e.g. simulated failure window).
+            self._drc.pop(key, None)
+            return
+        result_bytes, reply_body = result
+        header = ReplyHeader(call.xid).encode().to_bytes() + result_bytes
+        self._drc_put(key, (header, reply_body))
+        self.requests_handled += 1
+        self.host.send(self._reply_packet(pkt.src, header, reply_body))
+
+    def _drc_put(self, key, value) -> None:
+        self._drc[key] = value
+        self._drc.move_to_end(key)
+        while len(self._drc) > self.DRC_CAPACITY:
+            self._drc.popitem(last=False)
+
+    def _reply_packet(self, dst: Address, header: bytes, body: Data) -> Packet:
+        pkt = Packet(self.address, dst, header, body)
+        if self.fill_checksums:
+            pkt.fill_checksum()
+        return pkt

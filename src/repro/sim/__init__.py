@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate for the Slice reproduction."""
+
+from .engine import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
+from .rand import RandomStreams
+from .resources import Gate, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,13 @@
+"""Small-file service: threshold-offset I/O on best-fit fragment zones."""
+
+from .alloc import FragmentAllocator, round_fragment
+from .server import SF_PORT, SmallFileParams, SmallFileServer, sf_site_for
+
+__all__ = [
+    "FragmentAllocator",
+    "SF_PORT",
+    "SmallFileParams",
+    "SmallFileServer",
+    "round_fragment",
+    "sf_site_for",
+]

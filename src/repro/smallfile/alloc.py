@@ -1,0 +1,96 @@
+"""Best-fit variable-fragment allocator for small-file zones (§4.4).
+
+Space inside a small-file backing object is handed out in power-of-two
+fragments: a request rounds up to the next power of two (so the paper's
+8300-byte file consumes 8192 + 128 = 8320 bytes), is satisfied best-fit
+from the free lists, and otherwise comes from a fresh region at the end of
+the backing object — which lays out data created together sequentially,
+batching create-heavy workloads into one write stream (as in SquidMLA).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["FragmentAllocator", "round_fragment"]
+
+MIN_FRAGMENT = 128
+
+
+def round_fragment(nbytes: int) -> int:
+    """Round a size up to the allocator's fragment granularity."""
+    if nbytes <= 0:
+        raise ValueError(f"fragment size must be positive: {nbytes}")
+    size = MIN_FRAGMENT
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+class FragmentAllocator:
+    """Power-of-two best-fit with bump-pointer fallback."""
+
+    def __init__(self) -> None:
+        # size-class -> sorted list of free offsets
+        self.free_lists: Dict[int, List[int]] = {}
+        self.bump = 0
+        self.allocated_bytes = 0
+        self.appended_bytes = 0
+        self.reused_bytes = 0
+
+    def allocate(self, nbytes: int) -> Tuple[int, int]:
+        """Reserve space; returns (offset, rounded_size)."""
+        size = round_fragment(nbytes)
+        best = None
+        for cls, offsets in self.free_lists.items():
+            if cls >= size and offsets and (best is None or cls < best):
+                best = cls
+        if best is not None:
+            offset = self.free_lists[best].pop()
+            if not self.free_lists[best]:
+                del self.free_lists[best]
+            # Split the remainder back into power-of-two fragments.
+            self._free_range(offset + size, best - size)
+            self.reused_bytes += size
+        else:
+            offset = self.bump
+            self.bump += size
+            self.appended_bytes += size
+        self.allocated_bytes += size
+        return offset, size
+
+    def free(self, offset: int, size: int) -> None:
+        """Release a fragment previously returned by allocate()."""
+        if size <= 0:
+            return
+        self.allocated_bytes -= size
+        self.free_lists.setdefault(size, []).append(offset)
+
+    def _free_range(self, offset: int, length: int) -> None:
+        """Split an arbitrary range into power-of-two fragments."""
+        while length >= MIN_FRAGMENT:
+            piece = MIN_FRAGMENT
+            while piece * 2 <= length:
+                piece *= 2
+            self.free_lists.setdefault(piece, []).append(offset)
+            offset += piece
+            length -= piece
+
+    def free_bytes(self) -> int:
+        return sum(cls * len(offs) for cls, offs in self.free_lists.items())
+
+    @classmethod
+    def rebuild(cls, live_extents: Iterable[Tuple[int, int]]) -> "FragmentAllocator":
+        """Reconstruct allocator state from the live (offset, size) extents
+        after recovery: everything between them, up to the high-water mark,
+        is free."""
+        alloc = cls()
+        extents = sorted(live_extents)
+        cursor = 0
+        for offset, size in extents:
+            if offset > cursor:
+                alloc._free_range(cursor, offset - cursor)
+            cursor = max(cursor, offset + size)
+            alloc.allocated_bytes += size
+        alloc.bump = cursor
+        return alloc

@@ -1,0 +1,155 @@
+"""Wire protocol for the block-service coordinator (§2.2, §3.3.2, §4.2).
+
+Coordinators manage per-file block maps (for dynamic I/O routing) and an
+intention log that preserves failure atomicity for operations spanning
+multiple storage sites: remove/truncate, NFS V3 write commitment, and
+mirrored writes.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from repro.rpc.xdr import Decoder, Encoder
+
+__all__ = [
+    "SLICE_COORD_PROGRAM",
+    "COORD_V1",
+    "COORD_PING",
+    "COORD_INTENT",
+    "COORD_COMPLETE",
+    "COORD_GET_MAP",
+    "COORD_RECLAIM",
+    "K_REMOVE",
+    "K_TRUNCATE",
+    "K_COMMIT",
+    "K_MIRROR_WRITE",
+    "Intent",
+    "encode_intent_args",
+    "decode_intent_args",
+    "encode_complete_args",
+    "decode_complete_args",
+    "encode_get_map_args",
+    "decode_get_map_args",
+    "encode_map_res",
+    "decode_map_res",
+    "encode_reclaim_args",
+    "decode_reclaim_args",
+]
+
+SLICE_COORD_PROGRAM = 395901
+COORD_V1 = 1
+
+COORD_PING = 0
+COORD_INTENT = 1
+COORD_COMPLETE = 2
+COORD_GET_MAP = 3
+COORD_RECLAIM = 4
+
+K_REMOVE = 1
+K_TRUNCATE = 2
+K_COMMIT = 3
+K_MIRROR_WRITE = 4
+
+
+class Intent(NamedTuple):
+    """One multi-site operation the coordinator guards."""
+
+    op_id: int
+    kind: int
+    fh: bytes
+    offset: int
+    count: int
+    sites: List[Tuple[str, int]]  # participant (host, port) pairs
+
+
+def _encode_sites(enc: Encoder, sites) -> None:
+    enc.u32(len(sites))
+    for host, port in sites:
+        enc.string(host)
+        enc.u32(port)
+
+
+def _decode_sites(dec: Decoder) -> List[Tuple[str, int]]:
+    count = dec.u32()
+    return [(dec.string(255), dec.u32()) for _ in range(count)]
+
+
+def encode_intent_args(intent: Intent) -> bytes:
+    enc = Encoder()
+    enc.u64(intent.op_id)
+    enc.u32(intent.kind)
+    enc.opaque_var(intent.fh)
+    enc.u64(intent.offset)
+    enc.u32(intent.count)
+    _encode_sites(enc, intent.sites)
+    return enc.to_bytes()
+
+
+def decode_intent_args(dec: Decoder) -> Intent:
+    return Intent(
+        dec.u64(), dec.u32(), dec.opaque_var(64), dec.u64(), dec.u32(),
+        _decode_sites(dec),
+    )
+
+
+def encode_complete_args(op_id: int) -> bytes:
+    return Encoder().u64(op_id).to_bytes()
+
+
+def decode_complete_args(dec: Decoder) -> int:
+    return dec.u64()
+
+
+def encode_get_map_args(
+    fh: bytes, first_block: int, count: int, allocate: bool
+) -> bytes:
+    enc = Encoder()
+    enc.opaque_var(fh)
+    enc.u64(first_block)
+    enc.u32(count)
+    enc.boolean(allocate)
+    return enc.to_bytes()
+
+
+class GetMapArgs(NamedTuple):
+    fh: bytes
+    first_block: int
+    count: int
+    allocate: bool
+
+
+def decode_get_map_args(dec: Decoder) -> GetMapArgs:
+    return GetMapArgs(dec.opaque_var(64), dec.u64(), dec.u32(), dec.boolean())
+
+
+def encode_map_res(sites: List[int]) -> bytes:
+    enc = Encoder()
+    enc.u32(0)  # status OK
+    enc.array(sites, lambda e, s: e.i32(s))
+    return enc.to_bytes()
+
+
+def decode_map_res(dec: Decoder) -> List[int]:
+    status = dec.u32()
+    if status != 0:
+        raise ValueError(f"get_map failed: {status}")
+    return dec.array(lambda d: d.i32())
+
+
+def encode_reclaim_args(fh: bytes, truncate_to: int = 0, remove: bool = True) -> bytes:
+    enc = Encoder()
+    enc.opaque_var(fh)
+    enc.boolean(remove)
+    enc.u64(truncate_to)
+    return enc.to_bytes()
+
+
+class ReclaimArgs(NamedTuple):
+    fh: bytes
+    remove: bool
+    truncate_to: int
+
+
+def decode_reclaim_args(dec: Decoder) -> ReclaimArgs:
+    return ReclaimArgs(dec.opaque_var(64), dec.boolean(), dec.u64())

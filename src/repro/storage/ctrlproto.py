@@ -1,0 +1,88 @@
+"""Slice control protocol: object management ops on storage nodes.
+
+The paper's storage nodes speak "a subset of NFS, including read, write,
+commit, and remove"; reads/writes/commits map directly onto NFS procedures,
+while object removal/truncation (issued by coordinators and µproxies during
+multi-site operations, never by clients) use this small companion program.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.rpc.xdr import Decoder, Encoder
+
+__all__ = [
+    "SLICE_CTRL_PROGRAM",
+    "CTRL_V1",
+    "CTRL_PING",
+    "CTRL_OBJ_REMOVE",
+    "CTRL_OBJ_TRUNCATE",
+    "CTRL_OBJ_STAT",
+    "encode_obj_args",
+    "decode_obj_args",
+    "encode_truncate_args",
+    "decode_truncate_args",
+    "encode_stat_res",
+    "decode_stat_res",
+    "encode_status_res",
+    "decode_status_res",
+    "ObjStat",
+]
+
+SLICE_CTRL_PROGRAM = 395900
+CTRL_V1 = 1
+
+CTRL_PING = 0
+CTRL_OBJ_REMOVE = 1
+CTRL_OBJ_TRUNCATE = 2
+CTRL_OBJ_STAT = 3
+
+
+def encode_obj_args(fh: bytes) -> bytes:
+    return Encoder().opaque_var(fh).to_bytes()
+
+
+def decode_obj_args(dec: Decoder) -> bytes:
+    return dec.opaque_var(64)
+
+
+def encode_truncate_args(fh: bytes, size: int) -> bytes:
+    enc = Encoder().opaque_var(fh)
+    enc.u64(size)
+    return enc.to_bytes()
+
+
+class TruncateArgs(NamedTuple):
+    fh: bytes
+    size: int
+
+
+def decode_truncate_args(dec: Decoder) -> TruncateArgs:
+    return TruncateArgs(dec.opaque_var(64), dec.u64())
+
+
+class ObjStat(NamedTuple):
+    exists: bool
+    size: int
+    unstable_bytes: int
+
+
+def encode_stat_res(stat: ObjStat) -> bytes:
+    enc = Encoder()
+    enc.boolean(stat.exists)
+    enc.u64(stat.size)
+    enc.u64(stat.unstable_bytes)
+    return enc.to_bytes()
+
+
+def decode_stat_res(dec: Decoder) -> ObjStat:
+    return ObjStat(dec.boolean(), dec.u64(), dec.u64())
+
+
+def encode_status_res(status: int) -> bytes:
+    return Encoder().u32(status).to_bytes()
+
+
+def decode_status_res(dec: Decoder) -> int:
+    return dec.u32()

@@ -1,0 +1,17 @@
+"""Shared low-level utilities: lazy payloads, extent maps, routing digests."""
+
+from .bytesim import EMPTY, Data, PatternData, RealData, ZeroData, concat
+from .extents import ExtentMap
+from .hashing import HASHES, md5_u64
+
+__all__ = [
+    "EMPTY",
+    "Data",
+    "ExtentMap",
+    "HASHES",
+    "PatternData",
+    "RealData",
+    "ZeroData",
+    "concat",
+    "md5_u64",
+]

@@ -1,0 +1,47 @@
+"""Routing digests.
+
+The paper's µproxy uses MD5 to map request fields to logical server sites
+("we determined empirically that MD5 yields a combination of balanced
+distribution and low cost that is superior to competing hash functions
+available to us").  We expose MD5 plus the cheaper alternatives the ablation
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+__all__ = ["md5_u64", "crc32_u64", "djb2_u64", "fnv1a_u64", "HASHES"]
+
+
+def md5_u64(payload: bytes) -> int:
+    """First 8 bytes of MD5(payload), as an unsigned 64-bit int."""
+    return int.from_bytes(hashlib.md5(payload).digest()[:8], "big")
+
+
+def crc32_u64(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def djb2_u64(payload: bytes) -> int:
+    h = 5381
+    for byte in payload:
+        h = ((h * 33) + byte) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def fnv1a_u64(payload: bytes) -> int:
+    h = 0xCBF29CE484222325
+    for byte in payload:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+HASHES = {
+    "md5": md5_u64,
+    "crc32": crc32_u64,
+    "djb2": djb2_u64,
+    "fnv1a": fnv1a_u64,
+}

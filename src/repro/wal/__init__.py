@@ -1,0 +1,5 @@
+"""Write-ahead logging for dataless file managers."""
+
+from .log import WriteAheadLog
+
+__all__ = ["WriteAheadLog"]

@@ -1,0 +1,108 @@
+"""Write-ahead logging with group commit.
+
+Every Slice file manager is *dataless*: its state is backed by storage
+objects plus this journal, and "the system can recover the state of any
+manager from its backing objects together with its log" (§2.3).  Records
+are plain dicts; the log guarantees that a record reported stable survives
+a crash, and that records never reported stable vanish with one.
+
+Group commit (Hagmann-style, [10] in the paper): concurrent sync() callers
+share one sequential disk write, amortizing log I/O — the reason each
+directory server generates only ~0.5 MB/s of log traffic at 6000 ops/s.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim import Simulator
+
+__all__ = ["WriteAheadLog"]
+
+
+class WriteAheadLog:
+    """An append-only journal with explicit sync points."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        write_cost: Optional[Callable[[int], object]] = None,
+        record_bytes: int = 96,
+    ):
+        """``write_cost(nbytes)`` returns a generator charging the time of a
+        sequential log write (e.g. ``lambda n: array.access(ptr, n, True)``);
+        None makes syncs free (pure unit tests)."""
+        self.sim = sim
+        self.write_cost = write_cost
+        self.record_bytes = record_bytes
+        self.records: List[Dict] = []
+        self.stable_count = 0
+        self.bytes_logged = 0
+        self.syncs = 0
+        self._flush_done = None  # event while a flush is in progress
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, record: Dict) -> int:
+        """Append a record (volatile until synced); returns its LSN."""
+        if not isinstance(record, dict):
+            raise TypeError(f"log records are dicts, got {type(record)!r}")
+        self.records.append(dict(record))
+        return len(self.records) - 1
+
+    def sync(self):
+        """Generator: return once every record appended so far is stable.
+
+        Concurrent callers piggyback on the in-flight flush when it covers
+        their records (group commit).
+        """
+        target = len(self.records)
+        while self.stable_count < target:
+            if self._flush_done is not None:
+                yield self._flush_done
+            else:
+                yield from self._flush()
+
+    def append_sync(self, record: Dict):
+        """Generator: append and make stable; returns the LSN."""
+        lsn = self.append(record)
+        yield from self.sync()
+        return lsn
+
+    def _flush(self):
+        self._flush_done = self.sim.event()
+        try:
+            pending_upto = len(self.records)
+            nbytes = (pending_upto - self.stable_count) * self.record_bytes
+            if self.write_cost is not None and nbytes > 0:
+                yield from self.write_cost(nbytes)
+            else:
+                yield self.sim.timeout(0)
+            self.stable_count = pending_upto
+            self.bytes_logged += nbytes
+            self.syncs += 1
+        finally:
+            done = self._flush_done
+            self._flush_done = None
+            done.succeed(None)
+
+    # -- recovery ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop everything that was never synced."""
+        del self.records[self.stable_count:]
+
+    def stable_records(self) -> List[Dict]:
+        """The records guaranteed to survive a crash right now."""
+        return [dict(r) for r in self.records[: self.stable_count]]
+
+    def checkpoint(self, keep_from_lsn: int) -> None:
+        """Discard records below ``keep_from_lsn`` (caller checkpointed)."""
+        if keep_from_lsn <= 0:
+            return
+        keep_from_lsn = min(keep_from_lsn, self.stable_count)
+        del self.records[:keep_from_lsn]
+        self.stable_count -= keep_from_lsn
+
+    def __len__(self) -> int:
+        return len(self.records)

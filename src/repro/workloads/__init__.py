@@ -1,0 +1,22 @@
+"""Workload generators: untar, bulk dd I/O, and the SPECsfs97-like mix."""
+
+from .bulkio import DdResult, dd_read, dd_write
+from .fileset import Fileset, FilesetSpec, build_fileset
+from .specsfs import SFS97_MIX, SfsConfig, SfsResult, SfsRun
+from .untar import UntarSpec, UntarWorkload, build_tree_plan
+
+__all__ = [
+    "DdResult",
+    "Fileset",
+    "FilesetSpec",
+    "SFS97_MIX",
+    "SfsConfig",
+    "SfsResult",
+    "SfsRun",
+    "UntarSpec",
+    "UntarWorkload",
+    "build_fileset",
+    "build_tree_plan",
+    "dd_read",
+    "dd_write",
+]

@@ -1,0 +1,56 @@
+"""dd-style bulk sequential I/O (Table 2).
+
+Each test "issues read or write system calls on a 1.25 GB file in a Slice
+volume mounted with a 32 KB NFS block size and a read-ahead depth of four
+blocks"; we reproduce that through the NFS client's streaming file API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nfs.client import NfsClient
+from repro.nfs.errors import NFS3_OK, NfsError
+from repro.util.bytesim import PatternData
+
+__all__ = ["DdResult", "dd_write", "dd_read"]
+
+
+@dataclass
+class DdResult:
+    nbytes: int
+    elapsed: float
+
+    @property
+    def mb_per_second(self) -> float:
+        return self.nbytes / self.elapsed / 1e6 if self.elapsed > 0 else 0.0
+
+
+def dd_write(client: NfsClient, root_fh: bytes, name: str, size: int,
+             seed: int = 0):
+    """Generator: create + sequentially write + commit a file.
+
+    Returns (fh, DdResult) — the handle is reused by the read pass.
+    """
+    created = yield from client.create(root_fh, name)
+    if created.status != NFS3_OK:
+        raise NfsError(created.status, f"create {name}")
+    payload = PatternData(size, seed=seed)
+    start = client.sim.now
+    yield from client.write_file(created.fh, payload)
+    elapsed = client.sim.now - start
+    return created.fh, DdResult(size, elapsed)
+
+
+def dd_read(client: NfsClient, fh: bytes, size: int, verify_seed=None):
+    """Generator: sequentially read a file; returns DdResult.
+
+    With ``verify_seed`` set, the content is checked against the pattern
+    that :func:`dd_write` wrote (used in tests, skipped in benchmarks).
+    """
+    start = client.sim.now
+    data = yield from client.read_file(fh, size)
+    elapsed = client.sim.now - start
+    if verify_seed is not None and data != PatternData(size, seed=verify_seed):
+        raise NfsError(5, "dd read verification failed")
+    return DdResult(data.length, elapsed)

@@ -1,0 +1,111 @@
+"""SPECsfs-style file sets.
+
+"The SPECsfs file set is skewed heavily toward small files: 94% of files
+are 64 KB or less.  Although small files account for only 24% of the total
+bytes accessed, most SPECsfs I/O requests target small files; the large
+files serve to 'pollute' the disks."  The size distribution below has
+exactly that 94% small-file share.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.nfs.client import NfsClient
+from repro.nfs.errors import NFS3_OK, NfsError
+from repro.util.bytesim import PatternData
+
+__all__ = ["SIZE_DISTRIBUTION", "FilesetSpec", "Fileset", "draw_file_size"]
+
+# (size, weight); weights sum to 100; <=64 KB share = 94%.
+SIZE_DISTRIBUTION: List[Tuple[int, int]] = [
+    (1 << 10, 33),
+    (2 << 10, 21),
+    (4 << 10, 13),
+    (8 << 10, 10),
+    (16 << 10, 8),
+    (32 << 10, 5),
+    (64 << 10, 4),
+    (128 << 10, 3),
+    (256 << 10, 2),
+    (1 << 20, 1),
+]
+
+_SIZES = [s for s, _w in SIZE_DISTRIBUTION]
+_WEIGHTS = [w for _s, w in SIZE_DISTRIBUTION]
+
+
+def draw_file_size(rng: random.Random) -> int:
+    return rng.choices(_SIZES, weights=_WEIGHTS, k=1)[0]
+
+
+def average_file_size() -> float:
+    total = sum(_WEIGHTS)
+    return sum(s * w for s, w in SIZE_DISTRIBUTION) / total
+
+
+@dataclass
+class FilesetSpec:
+    num_files: int = 500
+    num_dirs: int = 20
+    num_symlinks: int = 20
+    files_per_commit: int = 1  # commit cadence during the build
+    seed: int = 0
+
+    @classmethod
+    def for_bytes(cls, target_bytes: int, seed: int = 0) -> "FilesetSpec":
+        """Self-scaling: a file set of roughly ``target_bytes``."""
+        num_files = max(50, int(target_bytes / average_file_size()))
+        return cls(
+            num_files=num_files,
+            num_dirs=max(5, num_files // 25),
+            num_symlinks=max(5, num_files // 50),
+            seed=seed,
+        )
+
+
+@dataclass
+class Fileset:
+    """Handles of everything the generator processes operate on."""
+
+    root_fh: bytes
+    dirs: List[bytes] = field(default_factory=list)
+    files: List[Tuple[bytes, int]] = field(default_factory=list)  # (fh, size)
+    symlinks: List[bytes] = field(default_factory=list)
+    total_bytes: int = 0
+
+
+def build_fileset(client: NfsClient, parent_fh: bytes, spec: FilesetSpec,
+                  dirname: str = "sfs"):
+    """Generator: create the file set through NFS; returns a Fileset."""
+    rng = random.Random(spec.seed)
+    made = yield from client.mkdir(parent_fh, dirname)
+    if made.status != NFS3_OK:
+        raise NfsError(made.status, f"mkdir {dirname}")
+    fileset = Fileset(root_fh=made.fh)
+    for d in range(spec.num_dirs):
+        res = yield from client.mkdir(made.fh, f"dir{d:04d}")
+        if res.status != NFS3_OK:
+            raise NfsError(res.status, f"mkdir dir{d}")
+        fileset.dirs.append(res.fh)
+    for i in range(spec.num_files):
+        dir_fh = fileset.dirs[i % len(fileset.dirs)]
+        created = yield from client.create(dir_fh, f"file{i:06d}")
+        if created.status != NFS3_OK:
+            raise NfsError(created.status, f"create file{i}")
+        size = draw_file_size(rng)
+        yield from client.write_file(
+            created.fh, PatternData(size, seed=spec.seed + i),
+            do_commit=(i % spec.files_per_commit == 0),
+        )
+        fileset.files.append((created.fh, size))
+        fileset.total_bytes += size
+    for i in range(spec.num_symlinks):
+        dir_fh = fileset.dirs[i % len(fileset.dirs)]
+        res = yield from client.symlink(dir_fh, f"sym{i:04d}", f"file{i:06d}")
+        if res.status != NFS3_OK:
+            raise NfsError(res.status, f"symlink sym{i}")
+        fileset.symlinks.append(res.fh)
+    return fileset

@@ -1,0 +1,132 @@
+"""The name-intensive untar benchmark (§5).
+
+"The benchmark repeatedly unpacks (untar) a set of zero-length files in a
+directory tree that mimics the FreeBSD source distribution.  Each file
+create generates seven NFS operations: lookup, access, create, getattr,
+lookup, setattr, setattr."
+
+The generated tree approximates the FreeBSD src layout: moderately deep,
+thousands of directories, ~11 files per directory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.nfs.client import NfsClient
+from repro.nfs.errors import NFS3_OK, NfsError
+from repro.nfs.types import Sattr3
+
+__all__ = ["UntarSpec", "UntarWorkload", "build_tree_plan"]
+
+
+@dataclass
+class UntarSpec:
+    """Workload size.  The paper used 36 000 entries (~250 000 NFS ops) per
+    process; benchmarks scale this down proportionally."""
+
+    total_entries: int = 36000
+    files_per_dir: int = 11
+    subdirs_per_dir: int = 3
+    max_depth: int = 6
+
+
+def build_tree_plan(spec: UntarSpec, seed: int = 0) -> List[Tuple[str, int, str]]:
+    """Deterministic depth-first plan: ("mkdir"|"create", parent_index, name).
+
+    parent_index refers to the index of the mkdir step that created the
+    parent (-1 = workload root).
+    """
+    rng = random.Random(seed)
+    plan: List[Tuple[str, int, str]] = []
+    # (parent plan index, depth)
+    frontier: List[Tuple[int, int]] = [(-1, 0)]
+    entries = 0
+    file_counter = 0
+    dir_counter = 0
+    while entries < spec.total_entries and frontier:
+        parent_index, depth = frontier.pop(0)
+        nfiles = max(1, spec.files_per_dir + rng.randint(-3, 3))
+        for _ in range(nfiles):
+            if entries >= spec.total_entries:
+                break
+            plan.append(("create", parent_index, f"f{file_counter}.c"))
+            file_counter += 1
+            entries += 1
+        if depth < spec.max_depth:
+            for _ in range(spec.subdirs_per_dir):
+                if entries >= spec.total_entries:
+                    break
+                index = len(plan)
+                plan.append(("mkdir", parent_index, f"d{dir_counter}"))
+                dir_counter += 1
+                entries += 1
+                frontier.append((index, depth + 1))
+    return plan
+
+
+class UntarWorkload:
+    """One untar process: unpacks the tree plan through an NFS client."""
+
+    def __init__(self, client: NfsClient, root_fh: bytes, spec: UntarSpec,
+                 prefix: str = "p0", seed: int = 0):
+        self.client = client
+        self.root_fh = root_fh
+        self.spec = spec
+        self.prefix = prefix
+        self.plan = build_tree_plan(spec, seed)
+        self.ops_issued = 0
+        self.entries_created = 0
+        self.elapsed = 0.0
+
+    def run(self):
+        """Generator: unpack the tree; returns (entries, nfs_ops, elapsed)."""
+        client = self.client
+        sim = client.sim
+        start = sim.now
+        # The per-process subtree root keeps processes from colliding.
+        res = yield from client.mkdir(self.root_fh, self.prefix)
+        if res.status != NFS3_OK:
+            raise NfsError(res.status, f"mkdir {self.prefix}")
+        self.ops_issued += 1
+        dir_fhs = {-1: res.fh}
+        for index, (kind, parent_index, name) in enumerate(self.plan):
+            parent_fh = dir_fhs[parent_index]
+            if kind == "mkdir":
+                fh = yield from self._unpack_dir(parent_fh, name)
+                dir_fhs[index] = fh
+            else:
+                yield from self._unpack_file(parent_fh, name)
+            self.entries_created += 1
+        self.elapsed = sim.now - start
+        return self.entries_created, self.ops_issued, self.elapsed
+
+    def _unpack_file(self, dir_fh: bytes, name: str):
+        """The seven-operation create sequence the paper measures."""
+        client = self.client
+        res = yield from client.lookup(dir_fh, name)  # 1: miss expected
+        _ = res
+        yield from client.access(dir_fh)  # 2
+        created = yield from client.create(dir_fh, name)  # 3
+        if created.status != NFS3_OK:
+            raise NfsError(created.status, f"create {name}")
+        yield from client.getattr(created.fh)  # 4
+        yield from client.lookup(dir_fh, name)  # 5: hit
+        yield from client.setattr(created.fh, Sattr3(mode=0o644))  # 6
+        yield from client.setattr(  # 7: tar restores timestamps
+            created.fh, Sattr3(atime=1.0, mtime=1.0)
+        )
+        self.ops_issued += 7
+
+    def _unpack_dir(self, dir_fh: bytes, name: str) -> bytes:
+        client = self.client
+        yield from client.lookup(dir_fh, name)
+        yield from client.access(dir_fh)
+        made = yield from client.mkdir(dir_fh, name)
+        if made.status != NFS3_OK:
+            raise NfsError(made.status, f"mkdir {name}")
+        yield from client.setattr(made.fh, Sattr3(mode=0o755))
+        self.ops_issued += 4
+        return made.fh

@@ -1,0 +1,6 @@
+"""Make test helper modules importable and set shared pytest config."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,360 @@
+"""Distributed directory-service tests: name hashing across servers, orphan
+mkdir two-phase commit, misdirection, crash recovery, failover, migration."""
+
+import pytest
+
+from repro.dirsvc import NAME_HASHING, NameConfig
+from repro.nfs import proto
+from repro.nfs.errors import (
+    NFS3ERR_EXIST,
+    NFS3ERR_NOENT,
+    NFS3ERR_NOTEMPTY,
+    NFS3_OK,
+    SLICEERR_MISDIRECTED,
+)
+from repro.nfs.fhandle import FHandle
+from repro.nfs.types import Sattr3
+
+from dir_harness import DirHarness
+
+
+def test_name_hashing_distributes_entries():
+    h = DirHarness(num_servers=4, mode=NAME_HASHING, num_sites=16)
+
+    def run():
+        for i in range(200):
+            yield from h.create(h.root_fh, f"file-{i}")
+
+    h.run(run())
+    per_server = [
+        sum(s.count_entries(h.root_fh.fileid) for s in srv.sites.values())
+        for srv in h.servers
+    ]
+    assert sum(per_server) == 200
+    # Probabilistically balanced: every server holds a decent share.
+    assert min(per_server) > 20
+
+
+def test_name_hashing_lookup_across_servers():
+    h = DirHarness(num_servers=4, mode=NAME_HASHING, num_sites=16)
+
+    def run():
+        created = {}
+        for i in range(40):
+            res = yield from h.create(h.root_fh, f"f{i}")
+            assert res.status == NFS3_OK
+            created[f"f{i}"] = res.fh
+        for name, fh in created.items():
+            res = yield from h.lookup(h.root_fh, name)
+            assert res.status == NFS3_OK, name
+            assert res.fh == fh, name
+
+    h.run(run())
+
+
+def test_name_hashing_readdir_spans_sites():
+    h = DirHarness(num_servers=4, mode=NAME_HASHING, num_sites=16)
+
+    def run():
+        for i in range(50):
+            yield from h.create(h.root_fh, f"x{i}")
+        status, names = yield from h.readdir_all(h.root_fh)
+        return status, names
+
+    status, names = h.run(run())
+    assert status == 0
+    got = sorted(n for n in names if n.startswith("x"))
+    assert got == sorted(f"x{i}" for i in range(50))
+    assert names.count(".") == 1  # dot entries only from the home site
+
+
+def test_orphan_mkdir_two_phase_commit():
+    """With p=1 every mkdir is redirected: the new directory's home is the
+    hash site while its name entry lives at the parent's home site."""
+    h = DirHarness(num_servers=4, num_sites=16, mkdir_p=1.0)
+
+    def run():
+        results = []
+        for i in range(12):
+            res = yield from h.mkdir(h.root_fh, f"dir{i}")
+            assert res.status == NFS3_OK
+            results.append(FHandle.unpack(res.fh))
+        # All lookups succeed even though attr cells are scattered.
+        for i in range(12):
+            res = yield from h.lookup(h.root_fh, f"dir{i}")
+            assert res.status == NFS3_OK
+            assert res.attr.nlink == 2
+        root = yield from h.getattr(h.root_fh)
+        return results, root
+
+    fhs, root = h.run(run())
+    homes = {fh.home_site for fh in fhs}
+    assert len(homes) > 1  # genuinely distributed
+    assert root.attr.nlink == 2 + 12
+    # Cross-site operations actually happened.
+    assert sum(s.cross_site_ops for s in h.servers) > 0
+
+
+def test_orphan_mkdir_duplicate_name_rejected_remotely():
+    h = DirHarness(num_servers=4, num_sites=16, mkdir_p=1.0)
+
+    def run():
+        first = yield from h.mkdir(h.root_fh, "dup")
+        second = yield from h.mkdir(h.root_fh, "dup")
+        return first, second
+
+    first, second = h.run(run())
+    assert first.status == NFS3_OK
+    assert second.status == NFS3ERR_EXIST
+
+
+def test_nested_tree_under_switching():
+    h = DirHarness(num_servers=3, num_sites=12, mkdir_p=0.5)
+
+    def run():
+        parent = h.root_fh
+        chain = []
+        for depth in range(6):
+            res = yield from h.mkdir(parent, f"level{depth}")
+            assert res.status == NFS3_OK
+            parent = FHandle.unpack(res.fh)
+            chain.append(parent)
+            f = yield from h.create(parent, f"file{depth}")
+            assert f.status == NFS3_OK
+        # Walk the chain down again by lookup.
+        cursor = h.root_fh
+        for depth in range(6):
+            res = yield from h.lookup(cursor, f"level{depth}")
+            assert res.status == NFS3_OK
+            cursor = FHandle.unpack(res.fh)
+            leaf = yield from h.lookup(cursor, f"file{depth}")
+            assert leaf.status == NFS3_OK
+
+    h.run(run())
+
+
+def test_cross_site_link_and_remove_keep_nlink_consistent():
+    h = DirHarness(num_servers=4, mode=NAME_HASHING, num_sites=16)
+
+    def run():
+        created = yield from h.create(h.root_fh, "shared-target")
+        fh = FHandle.unpack(created.fh)
+        for i in range(3):
+            res = yield from h.link(fh, h.root_fh, f"alias{i}")
+            assert res.status == NFS3_OK
+        after_links = yield from h.getattr(fh)
+        assert after_links.attr.nlink == 4
+        yield from h.remove(h.root_fh, "alias0")
+        yield from h.remove(h.root_fh, "shared-target")
+        rest = yield from h.getattr(fh)
+        assert rest.attr.nlink == 2
+        yield from h.remove(h.root_fh, "alias1")
+        yield from h.remove(h.root_fh, "alias2")
+        gone = yield from h.getattr(fh)
+        return gone
+
+    from repro.nfs.errors import NFS3ERR_STALE
+
+    assert h.run(run()).status == NFS3ERR_STALE
+
+
+def test_cross_site_rename():
+    h = DirHarness(num_servers=4, mode=NAME_HASHING, num_sites=16)
+
+    def run():
+        d1 = yield from h.mkdir(h.root_fh, "from-dir")
+        d2 = yield from h.mkdir(h.root_fh, "to-dir")
+        d1fh, d2fh = FHandle.unpack(d1.fh), FHandle.unpack(d2.fh)
+        created = yield from h.create(d1fh, "payload")
+        res = yield from h.rename(d1fh, "payload", d2fh, "moved-payload")
+        assert res.status == NFS3_OK
+        old = yield from h.lookup(d1fh, "payload")
+        new = yield from h.lookup(d2fh, "moved-payload")
+        return created, old, new
+
+    created, old, new = h.run(run())
+    assert old.status == NFS3ERR_NOENT
+    assert new.status == NFS3_OK
+    assert new.attr.fileid == FHandle.unpack(created.fh).fileid
+
+
+def test_rmdir_emptiness_checked_across_sites():
+    h = DirHarness(num_servers=4, mode=NAME_HASHING, num_sites=16)
+
+    def run():
+        made = yield from h.mkdir(h.root_fh, "busy")
+        dir_fh = FHandle.unpack(made.fh)
+        yield from h.create(dir_fh, "entry-elsewhere")
+        res = yield from h.rmdir(h.root_fh, "busy")
+        assert res.status == NFS3ERR_NOTEMPTY
+        yield from h.remove(dir_fh, "entry-elsewhere")
+        res = yield from h.rmdir(h.root_fh, "busy")
+        return res
+
+    assert h.run(run()).status == NFS3_OK
+
+
+def test_misdirected_request_reports_error():
+    h = DirHarness(num_servers=2, num_sites=8)
+
+    def run():
+        # Send a lookup for an entry owned by server 0's site to server 1.
+        site = h.config.entry_site(h.root_fh, "anything")
+        wrong_server = h.servers[1] if h.site_map[site] == 0 else h.servers[0]
+        dec, _ = yield from h.client.call(
+            wrong_server.address, proto.NFS_PROGRAM, proto.NFS_V3,
+            proto.PROC_LOOKUP,
+            proto.encode_diropargs(h.root_fh.pack(), "anything"),
+        )
+        return proto.LookupRes.decode(dec)
+
+    assert h.run(run()).status == SLICEERR_MISDIRECTED
+    assert sum(s.misdirected for s in h.servers) == 1
+
+
+def test_crash_recovery_preserves_synced_state():
+    h = DirHarness(num_servers=1, num_sites=4)
+    server = h.servers[0]
+
+    def phase1():
+        for i in range(10):
+            res = yield from h.create(h.root_fh, f"f{i}")
+            assert res.status == NFS3_OK
+
+    h.run(phase1())
+    server.crash()
+    server.restart(site_ids=[0, 1, 2, 3])
+
+    def phase2():
+        for i in range(10):
+            res = yield from h.lookup(h.root_fh, f"f{i}")
+            assert res.status == NFS3_OK
+
+    h.run(phase2())
+
+
+def test_failover_to_surviving_server():
+    """Server 1 dies; server 0 assumes its logical sites from shared
+    backing storage and serves its files."""
+    h = DirHarness(num_servers=2, num_sites=8)
+
+    def phase1():
+        handles = {}
+        for i in range(30):
+            res = yield from h.create(h.root_fh, f"f{i}")
+            assert res.status == NFS3_OK
+            handles[f"f{i}"] = res.fh
+        return handles
+
+    handles = h.run(phase1())
+    dead = h.servers[1]
+    dead_sites = dead.hosted_sites()
+    dead.crash()
+    # Failover: rebind the dead server's sites to server 0.
+    for site in dead_sites:
+        h.site_map[site] = 0
+        h.servers[0].load_site(site)
+
+    def phase2():
+        for name, fh in handles.items():
+            res = yield from h.lookup(h.root_fh, name)
+            assert res.status == NFS3_OK, name
+            assert res.fh == fh
+
+    h.run(phase2())
+
+
+def test_migration_moves_single_site():
+    """Reconfiguration moves one logical site; only its cells move."""
+    # p=1 scatters directory attribute cells over the hash sites.
+    h = DirHarness(num_servers=2, num_sites=8, mkdir_p=1.0)
+
+    def phase1():
+        for i in range(100):
+            yield from h.mkdir(h.root_fh, f"m{i}")
+
+    h.run(phase1())
+    total_cells = sum(
+        s.cell_count() for srv in h.servers for s in srv.sites.values()
+    )
+    # Pick a populated site on server 0 other than the root's site 0.
+    victim_site = max(
+        (s for s in h.servers[0].hosted_sites() if s != 0),
+        key=lambda s: h.servers[0].sites[s].cell_count(),
+    )
+    moved = h.servers[0].unload_site(victim_site)
+    h.site_map[victim_site] = 1
+    h.servers[1].load_site(victim_site)
+    assert 0 < moved < total_cells / 2  # roughly 1/Nth of the data
+
+    def phase2():
+        for i in range(100):
+            res = yield from h.lookup(h.root_fh, f"m{i}")
+            assert res.status == NFS3_OK, f"m{i}"
+            attrs = yield from h.getattr(
+                FHandle.unpack(res.fh)
+            )
+            assert attrs.status == NFS3_OK
+
+    h.run(phase2())
+
+
+def test_in_doubt_transaction_resolved_after_participant_crash():
+    """Participant crashes after PREPARE is stable but before COMMIT
+    arrives; on restart it must learn the outcome from the coordinator."""
+    h = DirHarness(num_servers=2, num_sites=8, mkdir_p=1.0)
+
+    # Find a mkdir whose home (serving site) is on server 1 but whose name
+    # entry (root's home = site 0) is on server 0: server 0 is participant.
+    name = None
+    for i in range(200):
+        candidate = f"orphan-{i}"
+        site = h.config.mkdir_site(h.root_fh, candidate)
+        if h.site_map[site] == 1:
+            name = candidate
+            break
+    assert name is not None
+
+    from repro.dirsvc import peerproto as pp
+    from repro.rpc.messages import CallHeader
+    from repro.rpc.xdr import Decoder
+
+    def drop_peer_commit(pkt):
+        try:
+            call = CallHeader.decode(Decoder(pkt.header))
+        except Exception:
+            return False
+        return (
+            call.prog == pp.SLICE_PEER_PROGRAM and call.proc == pp.PEER_COMMIT
+        )
+
+    h.net.drop_fn = drop_peer_commit
+
+    def phase1():
+        res = yield from h.mkdir(h.root_fh, name)
+        return res
+
+    res = h.run(phase1())
+    assert res.status == NFS3_OK  # coordinator decided commit
+    h.net.drop_fn = None
+
+    def lookup_now():
+        res = yield from h.lookup(h.root_fh, name)
+        return res
+
+    # The participant (server 0) never applied the entry.
+    assert h.run(lookup_now()).status == NFS3ERR_NOENT
+
+    # Crash and restart the participant: recovery resolves the in-doubt tx
+    # with the coordinator and applies the prepared ops.
+    sites0 = h.servers[0].hosted_sites()
+    h.servers[0].crash()
+    h.servers[0].restart(site_ids=sites0)
+
+    def settle_and_lookup():
+        yield h.sim.timeout(5.0)
+        res = yield from h.lookup(h.root_fh, name)
+        return res
+
+    final = h.run(settle_and_lookup())
+    assert final.status == NFS3_OK

@@ -1,0 +1,167 @@
+"""Fault injection: packet loss and server crashes under live workloads.
+
+The architecture's correctness story leans on end-to-end recovery — the
+µproxy may drop anything, the network may drop anything, servers may
+reboot — and NFS retransmission plus journals put the system back
+together.  These tests inject those faults while work is in flight.
+"""
+
+import random
+
+import pytest
+
+from repro.ensemble.cluster import SliceCluster
+from repro.ensemble.params import ClusterParams
+from repro.nfs.errors import NFS3_OK
+from repro.util.bytesim import PatternData
+from repro.workloads.untar import UntarSpec, UntarWorkload
+
+
+def small_cluster(**overrides):
+    defaults = dict(
+        num_storage_nodes=3, num_dir_servers=2, num_sf_servers=2,
+        dir_logical_sites=8, sf_logical_sites=4,
+    )
+    defaults.update(overrides)
+    return SliceCluster(params=ClusterParams(**defaults))
+
+
+def test_untar_completes_under_packet_loss():
+    cluster = small_cluster()
+    client, _proxy = cluster.add_client()
+    rng = random.Random(17)
+    cluster.net.drop_fn = lambda pkt: rng.random() < 0.03  # 3% loss
+
+    workload = UntarWorkload(
+        client, cluster.root_fh, UntarSpec(total_entries=120), prefix="p0"
+    )
+    entries, ops, elapsed = cluster.run(workload.run())
+    assert entries == 120
+    assert client.rpc.retransmissions > 0
+
+    cluster.net.drop_fn = None
+
+    def verify():
+        res = yield from client.lookup(cluster.root_fh, "p0")
+        assert res.status == NFS3_OK
+        status, listing = yield from client.readdir(res.fh)
+        return status, listing
+
+    status, listing = cluster.run(verify())
+    assert status == 0
+    assert len(listing) > 10
+
+
+def test_bulk_data_integrity_under_packet_loss():
+    cluster = small_cluster()
+    client, _proxy = cluster.add_client()
+    size = 512 << 10
+    payload = PatternData(size, seed=23)
+    rng = random.Random(5)
+
+    def run():
+        created = yield from client.create(cluster.root_fh, "lossy.bin")
+        cluster.net.drop_fn = lambda pkt: rng.random() < 0.02
+        yield from client.write_file(created.fh, payload)
+        data = yield from client.read_file(created.fh, size)
+        cluster.net.drop_fn = None
+        return data
+
+    assert cluster.run(run()) == payload
+
+
+def test_smallfile_server_reboot_mid_stream():
+    """Commit, crash the small-file server, restart it, keep writing."""
+    cluster = small_cluster(num_sf_servers=1)
+    client, _proxy = cluster.add_client()
+    sf = cluster.sf_servers[0]
+
+    def run():
+        handles = []
+        for i in range(5):
+            res = yield from client.create(cluster.root_fh, f"pre{i}")
+            yield from client.write_file(res.fh, PatternData(4000, seed=i))
+            handles.append(res.fh)
+        sites = sf.hosted_sites()
+        sf.crash()
+        yield cluster.sim.timeout(0.5)
+        sf.restart(site_ids=sites)
+        # Old data still reads (it was committed to the storage array).
+        for i, fh in enumerate(handles):
+            data = yield from client.read_file(fh, 4000)
+            assert data == PatternData(4000, seed=i), i
+        # New work proceeds.
+        res = yield from client.create(cluster.root_fh, "post")
+        yield from client.write_file(res.fh, PatternData(4000, seed=99))
+        data = yield from client.read_file(res.fh, 4000)
+        assert data == PatternData(4000, seed=99)
+
+    cluster.run(run())
+
+
+def test_dir_server_reboot_mid_untar():
+    """Kill and restart a directory server while an untar is running; the
+    workload finishes (client retransmission + journal recovery)."""
+    cluster = small_cluster()
+    client, _proxy = cluster.add_client()
+    workload = UntarWorkload(
+        client, cluster.root_fh, UntarSpec(total_entries=200), prefix="p0"
+    )
+    victim = cluster.dir_servers[1]
+    sites = victim.hosted_sites()
+
+    def chaos():
+        yield cluster.sim.timeout(0.15)
+        victim.crash()
+        yield cluster.sim.timeout(0.8)
+        victim.restart(site_ids=sites)
+
+    def run():
+        chaos_proc = cluster.sim.process(chaos())
+        result = yield from workload.run()
+        yield chaos_proc
+        return result
+
+    entries, _ops, _elapsed = cluster.run(run())
+    assert entries == 200
+    assert client.rpc.retransmissions > 0
+
+
+def test_storage_node_flapping_under_bulk_writes():
+    cluster = small_cluster()
+    client, _proxy = cluster.add_client()
+    size = 768 << 10
+    payload = PatternData(size, seed=31)
+    victim = cluster.storage_nodes[0]
+
+    def chaos():
+        for _ in range(2):
+            yield cluster.sim.timeout(0.08)
+            victim.crash()
+            yield cluster.sim.timeout(0.2)
+            victim.restart()
+
+    def run():
+        created = yield from client.create(cluster.root_fh, "flap.bin")
+        chaos_proc = cluster.sim.process(chaos())
+        yield from client.write_file(created.fh, payload)
+        yield chaos_proc
+        data = yield from client.read_file(created.fh, size)
+        return data
+
+    assert cluster.run(run()) == payload
+
+
+def test_config_service_outage_degrades_gracefully():
+    """With the config service down, a µproxy with valid tables keeps
+    working; only reconfiguration discovery is delayed."""
+    cluster = small_cluster()
+    client, proxy = cluster.add_client()
+    cluster.configsvc.host.crash()
+
+    def run():
+        res = yield from client.create(cluster.root_fh, "fine")
+        data_res = yield from client.lookup(cluster.root_fh, "fine")
+        return res.status, data_res.status
+
+    assert cluster.run(run()) == (NFS3_OK, NFS3_OK)

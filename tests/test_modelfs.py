@@ -1,0 +1,149 @@
+"""Direct unit tests for the reference model filesystem (the oracle)."""
+
+import pytest
+
+from repro.ensemble.modelfs import ModelFS
+from repro.nfs.errors import (
+    NFS3ERR_EXIST,
+    NFS3ERR_ISDIR,
+    NFS3ERR_NOENT,
+    NFS3ERR_NOTEMPTY,
+    NFS3ERR_STALE,
+    NFS3_OK,
+)
+from repro.nfs.types import NF3DIR, NF3LNK, NF3REG, Sattr3
+from repro.util.bytesim import RealData
+
+
+@pytest.fixture
+def fs():
+    return ModelFS()
+
+
+def test_root_exists(fs):
+    res = fs.getattr(fs.root_fh())
+    assert res.status == NFS3_OK
+    assert res.attr.ftype == NF3DIR
+    assert res.attr.fileid == 1
+
+
+def test_create_lookup_roundtrip(fs):
+    created = fs.create(fs.root_fh(), "f", 1, Sattr3(), now=1.0)
+    assert created.status == NFS3_OK
+    looked = fs.lookup(fs.root_fh(), "f")
+    assert looked.fh == created.fh
+    assert looked.attr.ftype == NF3REG
+
+
+def test_write_read_with_holes(fs):
+    created = fs.create(fs.root_fh(), "f", 1, Sattr3(), now=1.0)
+    fs.write(created.fh, 10, RealData(b"xyz"), 0, 7, now=2.0)
+    res, data = fs.read(created.fh, 0, 100, now=3.0)
+    assert res.status == NFS3_OK
+    assert data.to_bytes() == b"\x00" * 10 + b"xyz"
+    assert res.eof
+
+
+def test_setattr_truncate(fs):
+    created = fs.create(fs.root_fh(), "f", 1, Sattr3(), now=1.0)
+    fs.write(created.fh, 0, RealData(b"0123456789"), 0, 7, now=2.0)
+    res = fs.setattr(created.fh, Sattr3(size=4), None, now=3.0)
+    assert res.attr.size == 4
+    _res, data = fs.read(created.fh, 0, 100, now=4.0)
+    assert data.to_bytes() == b"0123"
+
+
+def test_readdir_pagination(fs):
+    root = fs.root_fh()
+    for i in range(10):
+        fs.create(root, f"e{i}", 1, Sattr3(), now=1.0)
+    page1 = fs.readdir(root, 0, max_entries=5)
+    assert not page1.eof
+    page2 = fs.readdir(root, page1.entries[-1].cookie, max_entries=50)
+    assert page2.eof
+    names = [e.name for e in page1.entries + page2.entries]
+    assert names[:2] == [".", ".."]
+    assert sorted(n for n in names if n.startswith("e")) == [
+        f"e{i}" for i in range(10)
+    ]
+    assert len(names) == 12
+
+
+def test_rename_into_nonempty_dir_rejected(fs):
+    root = fs.root_fh()
+    d1 = fs.mkdir(root, "d1", Sattr3(), now=1.0)
+    d2 = fs.mkdir(root, "d2", Sattr3(), now=1.0)
+    fs.create(d2.fh, "occupant", 1, Sattr3(), now=1.0)
+    res = fs.rename(root, "d1", root, "d2", now=2.0)
+    assert res.status == NFS3ERR_NOTEMPTY
+
+
+def test_rename_dir_over_empty_dir(fs):
+    root = fs.root_fh()
+    fs.mkdir(root, "d1", Sattr3(), now=1.0)
+    fs.mkdir(root, "d2", Sattr3(), now=1.0)
+    res = fs.rename(root, "d1", root, "d2", now=2.0)
+    assert res.status == NFS3_OK
+    assert fs.lookup(root, "d1").status == NFS3ERR_NOENT
+    assert fs.lookup(root, "d2").status == NFS3_OK
+
+
+def test_hard_links_share_content(fs):
+    root = fs.root_fh()
+    created = fs.create(root, "a", 1, Sattr3(), now=1.0)
+    fs.link(created.fh, root, "b", now=2.0)
+    fs.write(created.fh, 0, RealData(b"shared"), 0, 7, now=3.0)
+    b = fs.lookup(root, "b")
+    _res, data = fs.read(b.fh, 0, 10, now=4.0)
+    assert data.to_bytes() == b"shared"
+    assert b.attr.nlink == 2
+    fs.remove(root, "a", now=5.0)
+    assert fs.lookup(root, "b").attr.nlink == 1
+
+
+def test_stale_handle_after_last_unlink(fs):
+    root = fs.root_fh()
+    created = fs.create(root, "gone", 1, Sattr3(), now=1.0)
+    fs.remove(root, "gone", now=2.0)
+    assert fs.getattr(created.fh).status == NFS3ERR_STALE
+    assert fs.write(created.fh, 0, RealData(b"x"), 0, 7, now=3.0).status == NFS3ERR_STALE
+
+
+def test_symlink_lifecycle(fs):
+    root = fs.root_fh()
+    made = fs.symlink(root, "ln", "/some/where", now=1.0)
+    assert made.status == NFS3_OK
+    res = fs.readlink(made.fh)
+    assert res.path == "/some/where"
+    assert fs.read(made.fh, 0, 10, now=2.0)[0].status != NFS3_OK
+
+
+def test_mkdir_nlink_bookkeeping(fs):
+    root = fs.root_fh()
+    fs.mkdir(root, "d1", Sattr3(), now=1.0)
+    fs.mkdir(root, "d2", Sattr3(), now=1.0)
+    assert fs.getattr(root).attr.nlink == 4
+    fs.rmdir(root, "d1", now=2.0)
+    assert fs.getattr(root).attr.nlink == 3
+
+
+def test_guarded_create_exists(fs):
+    root = fs.root_fh()
+    fs.create(root, "f", 1, Sattr3(), now=1.0)
+    assert fs.create(root, "f", 1, Sattr3(), now=2.0).status == NFS3ERR_EXIST
+    again = fs.create(root, "f", 0, Sattr3(), now=3.0)  # UNCHECKED
+    assert again.status == NFS3_OK
+
+
+def test_remove_dir_via_remove_rejected(fs):
+    root = fs.root_fh()
+    fs.mkdir(root, "d", Sattr3(), now=1.0)
+    assert fs.remove(root, "d", now=2.0).status == NFS3ERR_ISDIR
+
+
+def test_dotdot_of_nested_dir(fs):
+    root = fs.root_fh()
+    d1 = fs.mkdir(root, "d1", Sattr3(), now=1.0)
+    d2 = fs.mkdir(d1.fh, "d2", Sattr3(), now=1.0)
+    up = fs.lookup(d2.fh, "..")
+    assert up.attr.fileid == fs.getattr(d1.fh).attr.fileid

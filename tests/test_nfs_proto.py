@@ -1,0 +1,303 @@
+"""Round-trip tests for the NFS V3 codec, Slice fhandles, and attributes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nfs import proto
+from repro.nfs.fhandle import FLAG_MIRRORED, FHandle
+from repro.nfs.types import (
+    DirEntry,
+    Fattr3,
+    NF3DIR,
+    NF3REG,
+    Sattr3,
+)
+from repro.rpc.xdr import Decoder
+
+
+def fh_bytes(fileid=42, ftype=NF3REG, flags=0, site=3):
+    return FHandle(
+        volume=1, ftype=ftype, flags=flags, fileid=fileid,
+        home_site=site, key=bytes(16),
+    ).pack()
+
+
+def test_fhandle_roundtrip():
+    fh = FHandle(2, NF3DIR, FLAG_MIRRORED, 123456789, 7, bytes(range(16)))
+    decoded = FHandle.unpack(fh.pack())
+    assert decoded == fh
+    assert decoded.mirrored
+
+
+def test_fhandle_bad_magic():
+    raw = bytearray(fh_bytes())
+    raw[0] ^= 0xFF
+    with pytest.raises(ValueError):
+        FHandle.unpack(bytes(raw))
+
+
+def test_fhandle_bad_length():
+    with pytest.raises(ValueError):
+        FHandle.unpack(b"short")
+
+
+def test_fhandle_key_length_checked():
+    with pytest.raises(ValueError):
+        FHandle(1, NF3REG, 0, 1, 0, b"short")
+
+
+@given(
+    st.integers(0, 0xFFFF),
+    st.integers(0, 255),
+    st.integers(0, 255),
+    st.integers(0, 2**64 - 1),
+    st.integers(0, 0xFFFF),
+    st.binary(min_size=16, max_size=16),
+)
+def test_fhandle_roundtrip_property(vol, ftype, flags, fileid, site, key):
+    fh = FHandle(vol, ftype, flags, fileid, site, key)
+    assert FHandle.unpack(fh.pack()) == fh
+
+
+def test_fattr3_roundtrip():
+    from repro.rpc.xdr import Encoder
+
+    attr = Fattr3(
+        ftype=NF3REG, mode=0o755, nlink=2, uid=10, gid=20,
+        size=8300, used=8320, fsid=1, fileid=99,
+        atime=100.5, mtime=200.25, ctime=300.125,
+    )
+    enc = Encoder()
+    attr.encode(enc)
+    raw = enc.to_bytes()
+    assert len(raw) == 84  # FATTR3_SIZE contract for in-place patching
+    decoded = Fattr3.decode(Decoder(raw))
+    assert decoded == attr
+
+
+def test_fattr3_field_offsets():
+    """The in-place patch offsets must match the encoding."""
+    from repro.nfs.types import (
+        FATTR3_OFF_MTIME,
+        FATTR3_OFF_SIZE,
+    )
+    from repro.rpc.xdr import Encoder
+
+    attr = Fattr3(size=0xDEADBEEF, mtime=float(0x12345678))
+    enc = Encoder()
+    attr.encode(enc)
+    raw = enc.to_bytes()
+    assert int.from_bytes(raw[FATTR3_OFF_SIZE:FATTR3_OFF_SIZE + 8], "big") == 0xDEADBEEF
+    assert int.from_bytes(raw[FATTR3_OFF_MTIME:FATTR3_OFF_MTIME + 4], "big") == 0x12345678
+
+
+def test_sattr3_roundtrip_full():
+    from repro.rpc.xdr import Encoder
+
+    sattr = Sattr3(mode=0o600, uid=5, gid=6, size=1024, atime=9.5, mtime="server")
+    enc = Encoder()
+    sattr.encode(enc)
+    decoded = Sattr3.decode(Decoder(enc.to_bytes()))
+    assert decoded == sattr
+
+
+def test_sattr3_roundtrip_empty():
+    from repro.rpc.xdr import Encoder
+
+    sattr = Sattr3()
+    enc = Encoder()
+    sattr.encode(enc)
+    decoded = Sattr3.decode(Decoder(enc.to_bytes()))
+    assert decoded == sattr
+    assert not decoded.is_truncation()
+
+
+def test_diropargs_roundtrip():
+    raw = proto.encode_diropargs(fh_bytes(), "hello.txt")
+    args = proto.decode_diropargs(Decoder(raw))
+    assert args.name == "hello.txt"
+    assert FHandle.unpack(args.dir_fh).fileid == 42
+
+
+def test_read_args_roundtrip():
+    raw = proto.encode_read_args(fh_bytes(7), 65536, 32768)
+    args = proto.decode_read_args(Decoder(raw))
+    assert (args.offset, args.count) == (65536, 32768)
+    assert FHandle.unpack(args.fh).fileid == 7
+
+
+def test_write_args_roundtrip():
+    raw = proto.encode_write_args(fh_bytes(7), 1 << 33, 8192, 0)
+    args = proto.decode_write_args(Decoder(raw))
+    assert args.offset == 1 << 33
+    assert args.count == 8192
+    assert args.stable == 0
+
+
+def test_create_args_roundtrip():
+    raw = proto.encode_create_args(fh_bytes(1, NF3DIR), "f", 1, Sattr3(mode=0o644))
+    args = proto.decode_create_args(Decoder(raw))
+    assert args.name == "f"
+    assert args.mode == 1
+    assert args.sattr.mode == 0o644
+
+
+def test_rename_args_roundtrip():
+    raw = proto.encode_rename_args(fh_bytes(1), "old", fh_bytes(2), "new")
+    args = proto.decode_rename_args(Decoder(raw))
+    assert args.from_name == "old"
+    assert args.to_name == "new"
+    assert FHandle.unpack(args.to_dir).fileid == 2
+
+
+def test_link_args_roundtrip():
+    raw = proto.encode_link_args(fh_bytes(9), fh_bytes(1, NF3DIR), "ln")
+    args = proto.decode_link_args(Decoder(raw))
+    assert FHandle.unpack(args.fh).fileid == 9
+    assert args.name == "ln"
+
+
+def test_setattr_args_roundtrip():
+    raw = proto.encode_setattr_args(fh_bytes(3), Sattr3(size=0), guard_ctime=12.5)
+    args = proto.decode_setattr_args(Decoder(raw))
+    assert args.sattr.size == 0
+    assert args.guard_ctime == pytest.approx(12.5)
+
+
+def test_readdir_args_roundtrip():
+    raw = proto.encode_readdir_args(fh_bytes(1, NF3DIR), 55, 99, 4096)
+    args = proto.decode_readdir_args(Decoder(raw))
+    assert (args.cookie, args.cookieverf, args.count) == (55, 99, 4096)
+
+
+def test_commit_args_roundtrip():
+    raw = proto.encode_commit_args(fh_bytes(4), 0, 0)
+    args = proto.decode_commit_args(Decoder(raw))
+    assert (args.offset, args.count) == (0, 0)
+
+
+# -- results -----------------------------------------------------------------
+
+
+def test_getattr_res_roundtrip():
+    res = proto.GetattrRes(0, Fattr3(fileid=5, size=100))
+    assert proto.GetattrRes.decode(Decoder(res.encode())) == res
+
+
+def test_getattr_res_error():
+    res = proto.GetattrRes(70)  # STALE
+    decoded = proto.GetattrRes.decode(Decoder(res.encode()))
+    assert decoded.status == 70
+    assert decoded.attr is None
+
+
+def test_lookup_res_roundtrip():
+    res = proto.LookupRes(0, fh_bytes(8), Fattr3(fileid=8), Fattr3(fileid=1, ftype=NF3DIR))
+    decoded = proto.LookupRes.decode(Decoder(res.encode()))
+    assert decoded.fh == res.fh
+    assert decoded.attr.fileid == 8
+    assert decoded.dir_attr.ftype == NF3DIR
+
+
+def test_lookup_res_noent_keeps_dir_attr():
+    res = proto.LookupRes(2, dir_attr=Fattr3(fileid=1))
+    decoded = proto.LookupRes.decode(Decoder(res.encode()))
+    assert decoded.status == 2
+    assert decoded.fh is None
+    assert decoded.dir_attr.fileid == 1
+
+
+def test_read_res_roundtrip_and_attr_offset():
+    res = proto.ReadRes(0, Fattr3(fileid=3, size=999), count=512, eof=True)
+    raw = res.encode()
+    assert res.attr_offset > 0
+    decoded = proto.ReadRes.decode(Decoder(raw))
+    assert decoded.count == 512
+    assert decoded.eof is True
+    assert decoded.attr.size == 999
+    assert decoded.attr_offset == res.attr_offset
+
+
+def test_write_res_roundtrip():
+    res = proto.WriteRes(0, Fattr3(fileid=3), count=100, committed=2, verf=0xABCD)
+    decoded = proto.WriteRes.decode(Decoder(res.encode()))
+    assert decoded.count == 100
+    assert decoded.committed == 2
+    assert decoded.verf == 0xABCD
+
+
+def test_create_res_roundtrip():
+    res = proto.CreateRes(0, fh_bytes(77), Fattr3(fileid=77), Fattr3(fileid=1))
+    decoded = proto.CreateRes.decode(Decoder(res.encode()))
+    assert FHandle.unpack(decoded.fh).fileid == 77
+    assert decoded.dir_attr.fileid == 1
+
+
+def test_rename_res_roundtrip():
+    res = proto.RenameRes(0, Fattr3(fileid=1), Fattr3(fileid=2))
+    decoded = proto.RenameRes.decode(Decoder(res.encode()))
+    assert decoded.from_dir_attr.fileid == 1
+    assert decoded.to_dir_attr.fileid == 2
+
+
+def test_readdir_res_roundtrip():
+    entries = [
+        DirEntry(1, ".", 1),
+        DirEntry(2, "..", 2),
+        DirEntry(50, "file-a", 3),
+    ]
+    res = proto.ReaddirRes(0, Fattr3(fileid=1), 42, entries, eof=False)
+    decoded = proto.ReaddirRes.decode(Decoder(res.encode()))
+    assert [e.name for e in decoded.entries] == [".", "..", "file-a"]
+    assert decoded.eof is False
+    assert decoded.cookieverf == 42
+
+
+def test_readdirplus_res_roundtrip():
+    entries = [
+        DirEntry(50, "f", 1, attr=Fattr3(fileid=50), fh=fh_bytes(50)),
+        DirEntry(51, "g", 2, attr=None, fh=None),
+    ]
+    res = proto.ReaddirRes(0, Fattr3(fileid=1), 7, entries, eof=True, plus=True)
+    decoded = proto.ReaddirRes.decode(Decoder(res.encode()), plus=True)
+    assert decoded.entries[0].attr.fileid == 50
+    assert FHandle.unpack(decoded.entries[0].fh).fileid == 50
+    assert decoded.entries[1].attr is None
+
+
+def test_commit_res_roundtrip():
+    res = proto.CommitRes(0, Fattr3(fileid=9), verf=123456)
+    decoded = proto.CommitRes.decode(Decoder(res.encode()))
+    assert decoded.verf == 123456
+
+
+def test_fsstat_res_roundtrip():
+    res = proto.FsstatRes(0, Fattr3(), 10**12, 10**11, 10**11, 1000, 900, 900)
+    decoded = proto.FsstatRes.decode(Decoder(res.encode()))
+    assert decoded.tbytes == 10**12
+    assert decoded.afiles == 900
+
+
+def test_fsinfo_res_roundtrip():
+    res = proto.FsinfoRes(0, Fattr3(), rtmax=32768, wtmax=32768)
+    decoded = proto.FsinfoRes.decode(Decoder(res.encode()))
+    assert decoded.rtmax == 32768
+
+
+def test_pathconf_res_roundtrip():
+    res = proto.PathconfRes(0, Fattr3())
+    decoded = proto.PathconfRes.decode(Decoder(res.encode()))
+    assert decoded.name_max == 255
+
+
+@given(st.floats(min_value=0, max_value=2**31, allow_nan=False))
+def test_time_encoding_precision(seconds):
+    """Times survive the (sec, nsec) wire encoding to within a nanosecond."""
+    from repro.nfs.types import decode_time, encode_time
+    from repro.rpc.xdr import Encoder
+
+    enc = Encoder()
+    encode_time(enc, seconds)
+    decoded = decode_time(Decoder(enc.to_bytes()))
+    assert decoded == pytest.approx(seconds, abs=1e-6)

@@ -1,0 +1,213 @@
+"""Tests for XDR encoding and RPC message headers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rpc.messages import (
+    CallHeader,
+    Credential,
+    ReplyHeader,
+    SUCCESS,
+    PROG_UNAVAIL,
+)
+from repro.rpc.xdr import Decoder, Encoder, XdrError
+
+
+def test_u32_roundtrip():
+    enc = Encoder().u32(0).u32(1).u32(0xFFFFFFFF)
+    dec = Decoder(enc.to_bytes())
+    assert [dec.u32(), dec.u32(), dec.u32()] == [0, 1, 0xFFFFFFFF]
+    assert dec.done()
+
+
+def test_u32_range_check():
+    with pytest.raises(XdrError):
+        Encoder().u32(-1)
+    with pytest.raises(XdrError):
+        Encoder().u32(1 << 32)
+
+
+def test_i32_and_i64_signed():
+    enc = Encoder().i32(-5).i64(-(1 << 40))
+    dec = Decoder(enc.to_bytes())
+    assert dec.i32() == -5
+    assert dec.i64() == -(1 << 40)
+
+
+def test_u64_roundtrip():
+    enc = Encoder().u64(1 << 63)
+    assert Decoder(enc.to_bytes()).u64() == 1 << 63
+
+
+def test_bool_roundtrip():
+    enc = Encoder().boolean(True).boolean(False)
+    dec = Decoder(enc.to_bytes())
+    assert dec.boolean() is True
+    assert dec.boolean() is False
+
+
+def test_bad_bool_rejected():
+    with pytest.raises(XdrError):
+        Decoder(Encoder().u32(2).to_bytes()).boolean()
+
+
+def test_opaque_var_padding():
+    enc = Encoder().opaque_var(b"abcde")  # 4 len + 5 data + 3 pad
+    raw = enc.to_bytes()
+    assert len(raw) == 12
+    assert raw[4:9] == b"abcde"
+    assert raw[9:] == b"\x00\x00\x00"
+    assert Decoder(raw).opaque_var() == b"abcde"
+
+
+def test_opaque_fixed_roundtrip():
+    enc = Encoder().opaque_fixed(b"xyz")
+    assert len(enc.to_bytes()) == 4
+    assert Decoder(enc.to_bytes()).opaque_fixed(3) == b"xyz"
+
+
+def test_opaque_max_length_enforced():
+    raw = Encoder().opaque_var(b"a" * 100).to_bytes()
+    with pytest.raises(XdrError):
+        Decoder(raw).opaque_var(max_length=64)
+
+
+def test_string_unicode():
+    enc = Encoder().string("héllo/wörld")
+    assert Decoder(enc.to_bytes()).string() == "héllo/wörld"
+
+
+def test_array_roundtrip():
+    enc = Encoder().array([1, 2, 3], lambda e, x: e.u32(x))
+    assert Decoder(enc.to_bytes()).array(lambda d: d.u32()) == [1, 2, 3]
+
+
+def test_truncated_buffer_raises():
+    with pytest.raises(XdrError):
+        Decoder(b"\x00\x00").u32()
+
+
+def test_position_tracks_offset():
+    enc = Encoder()
+    enc.u32(1)
+    assert enc.position == 4
+    enc.string("ab")
+    assert enc.position == 12
+
+
+@given(st.binary(max_size=300))
+def test_opaque_var_roundtrip_property(data):
+    raw = Encoder().opaque_var(data).to_bytes()
+    assert len(raw) % 4 == 0
+    assert Decoder(raw).opaque_var() == data
+
+
+@given(
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(0, 30),
+    st.text(max_size=40),
+)
+def test_mixed_roundtrip_property(a, b, n, text):
+    enc = Encoder().u32(a).string(text).u64(b).array(
+        list(range(n)), lambda e, x: e.u32(x)
+    )
+    dec = Decoder(enc.to_bytes())
+    assert dec.u32() == a
+    assert dec.string() == text
+    assert dec.u64() == b
+    assert dec.array(lambda d: d.u32()) == list(range(n))
+    assert dec.done()
+
+
+def test_call_header_roundtrip():
+    cred = Credential("wkstn14", uid=101, gid=20, gids=[20, 5, 99])
+    hdr = CallHeader(xid=777, prog=100003, vers=3, proc=6, cred=cred)
+    raw = hdr.encode().to_bytes()
+    decoded = CallHeader.decode(Decoder(raw))
+    assert decoded.xid == 777
+    assert decoded.prog == 100003
+    assert decoded.vers == 3
+    assert decoded.proc == 6
+    assert decoded.cred.machine == "wkstn14"
+    assert decoded.cred.gids == [20, 5, 99]
+
+
+def test_call_header_variable_length():
+    """Credential size varies with machine name and group list (the decode
+    complexity the paper measures)."""
+    short = CallHeader(1, 100003, 3, 0, Credential("a")).encode().to_bytes()
+    long = CallHeader(
+        1, 100003, 3, 0, Credential("a-much-longer-hostname", gids=list(range(16)))
+    ).encode().to_bytes()
+    assert len(long) > len(short)
+
+
+def test_call_header_no_cred():
+    raw = CallHeader(5, 200001, 1, 2, None).encode().to_bytes()
+    decoded = CallHeader.decode(Decoder(raw))
+    assert decoded.cred is None
+
+
+def test_reply_header_roundtrip():
+    raw = ReplyHeader(424242).encode().to_bytes()
+    decoded = ReplyHeader.decode(Decoder(raw))
+    assert decoded.xid == 424242
+    assert decoded.accept_stat == SUCCESS
+
+
+def test_reply_header_error_stat():
+    raw = ReplyHeader(1, PROG_UNAVAIL).encode().to_bytes()
+    assert ReplyHeader.decode(Decoder(raw)).accept_stat == PROG_UNAVAIL
+
+
+def test_reply_rejects_call_message():
+    raw = CallHeader(1, 2, 3, 4).encode().to_bytes()
+    with pytest.raises(XdrError):
+        ReplyHeader.decode(Decoder(raw))
+
+
+@given(st.binary(max_size=120))
+def test_call_header_decode_never_crashes(junk):
+    """Arbitrary bytes either decode or raise XdrError — nothing else.
+
+    The µproxy decodes raw packets off the wire; malformed input must be
+    rejected cleanly."""
+    try:
+        CallHeader.decode(Decoder(junk))
+    except XdrError:
+        pass
+
+
+@given(st.binary(max_size=120))
+def test_reply_header_decode_never_crashes(junk):
+    try:
+        ReplyHeader.decode(Decoder(junk))
+    except XdrError:
+        pass
+
+
+@given(st.binary(max_size=200))
+def test_nfs_result_decoders_never_crash(junk):
+    from repro.nfs import proto as nfs_proto
+    from repro.nfs.fhandle import FHandle
+
+    decoders = [
+        nfs_proto.GetattrRes.decode,
+        nfs_proto.LookupRes.decode,
+        nfs_proto.ReadRes.decode,
+        nfs_proto.WriteRes.decode,
+        nfs_proto.CreateRes.decode,
+        nfs_proto.ReaddirRes.decode,
+        nfs_proto.CommitRes.decode,
+    ]
+    for decode in decoders:
+        try:
+            decode(Decoder(junk))
+        except (XdrError, UnicodeDecodeError):
+            pass
+    try:
+        FHandle.unpack(junk[:32]) if len(junk) >= 32 else None
+    except ValueError:
+        pass

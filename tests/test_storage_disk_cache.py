@@ -1,0 +1,189 @@
+"""Tests for the disk model, disk array, and buffer cache."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage.cache import BufferCache
+from repro.storage.disk import Disk, DiskArray, DiskParams
+
+
+def test_disk_random_access_pays_seek():
+    sim = Simulator()
+    disk = Disk(sim, DiskParams(avg_seek=0.005, half_rotation=0.003,
+                                sequential_gap=0.0002, transfer_rate=1e6))
+
+    def run():
+        yield from disk.access(0, 1000)
+        return sim.now
+
+    elapsed = sim.run_process(run())
+    assert elapsed == pytest.approx(0.005 + 0.003 + 0.001)
+    assert disk.seeks == 1
+
+
+def test_disk_sequential_access_skips_seek():
+    sim = Simulator()
+    disk = Disk(sim, DiskParams(avg_seek=0.005, half_rotation=0.003,
+                                sequential_gap=0.0002, transfer_rate=1e6))
+
+    def run():
+        yield from disk.access(0, 1000)
+        first = sim.now
+        yield from disk.access(1000, 1000)  # continues previous access
+        return first, sim.now
+
+    first, second = sim.run_process(run())
+    assert second - first == pytest.approx(0.0002 + 0.001)
+    assert disk.seeks == 1
+
+
+def test_disk_arm_serializes_requests():
+    sim = Simulator()
+    disk = Disk(sim, DiskParams(transfer_rate=1e6, avg_seek=0.01,
+                                half_rotation=0.0, sequential_gap=0.0,
+                                elevator_factor=0.5))
+    done = []
+
+    def one(phys):
+        yield from disk.access(phys, 0)
+        done.append(sim.now)
+
+    sim.process(one(0))
+    sim.process(one(10**6))
+    sim.run()
+    # Second request queued behind the first: elevator halves its seek.
+    assert done == [pytest.approx(0.01), pytest.approx(0.015)]
+
+
+def test_disk_elevator_discount_only_when_queued():
+    sim = Simulator()
+    disk = Disk(sim, DiskParams(transfer_rate=1e6, avg_seek=0.01,
+                                half_rotation=0.0, sequential_gap=0.0,
+                                elevator_factor=0.5))
+    done = []
+
+    def sequence():
+        yield from disk.access(0, 0)
+        done.append(sim.now)
+        yield from disk.access(10**6, 0)  # idle arm: full seek
+        done.append(sim.now)
+
+    sim.process(sequence())
+    sim.run()
+    assert done == [pytest.approx(0.01), pytest.approx(0.02)]
+
+
+def test_array_interleaves_chunks_across_disks():
+    sim = Simulator()
+    array = DiskArray(sim, num_disks=4)
+    assert array.disk_for(0) is array.disks[0]
+    assert array.disk_for(DiskArray.CHUNK) is array.disks[1]
+    assert array.disk_for(4 * DiskArray.CHUNK) is array.disks[0]
+
+
+def test_array_parallel_arms_beat_single_disk():
+    """A multi-chunk access engages multiple arms in parallel."""
+    params = DiskParams(avg_seek=0.004, half_rotation=0.0,
+                        sequential_gap=0.0, transfer_rate=1e9)
+    sim = Simulator()
+    array = DiskArray(sim, num_disks=4, params=params, channel_bandwidth=1e12)
+
+    def run():
+        # 4 chunks = 4 disks, all seek in parallel: ~one seek total.
+        yield from array.access(0, 4 * DiskArray.CHUNK)
+        return sim.now
+
+    elapsed = sim.run_process(run())
+    assert elapsed < 0.004 * 2
+
+
+def test_array_channel_caps_throughput():
+    params = DiskParams(avg_seek=0.0, half_rotation=0.0,
+                        sequential_gap=0.0, transfer_rate=1e12)
+    sim = Simulator()
+    array = DiskArray(sim, num_disks=8, params=params, channel_bandwidth=1e6)
+
+    def run():
+        yield from array.access(0, 10**6)  # 1 MB over a 1 MB/s channel
+        return sim.now
+
+    assert sim.run_process(run()) == pytest.approx(1.0, rel=0.01)
+
+
+def test_array_allocate_is_monotonic():
+    sim = Simulator()
+    array = DiskArray(sim, num_disks=2)
+    a = array.allocate(8192)
+    b = array.allocate(8192)
+    assert b == a + 8192
+
+
+def test_cache_hit_and_miss():
+    cache = BufferCache(100)
+    assert not cache.lookup("a")
+    cache.insert("a", 10)
+    assert cache.lookup("a")
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_cache_lru_eviction_order():
+    cache = BufferCache(30)
+    cache.insert("a", 10)
+    cache.insert("b", 10)
+    cache.insert("c", 10)
+    cache.lookup("a")  # refresh a; b is now LRU
+    cache.insert("d", 10)
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache and "d" in cache
+
+
+def test_cache_dirty_eviction_returns_writebacks():
+    cache = BufferCache(20)
+    cache.insert("a", 10, dirty=True)
+    cache.insert("b", 10)
+    writebacks = cache.insert("c", 10)
+    assert writebacks == [("a", 10)]
+    assert cache.used == 20
+
+
+def test_cache_clean_eviction_silent():
+    cache = BufferCache(20)
+    cache.insert("a", 10)
+    cache.insert("b", 10)
+    assert cache.insert("c", 10) == []
+
+
+def test_cache_mark_clean_prevents_writeback():
+    cache = BufferCache(10)
+    cache.insert("a", 10, dirty=True)
+    cache.mark_clean("a")
+    assert cache.insert("b", 10) == []
+
+
+def test_cache_reinsert_preserves_dirty():
+    cache = BufferCache(20)
+    cache.insert("a", 10, dirty=True)
+    cache.insert("a", 10, dirty=False)  # rewrite does not lose dirtiness
+    assert cache.is_dirty("a")
+
+
+def test_cache_discard():
+    cache = BufferCache(20)
+    cache.insert("a", 10, dirty=True)
+    cache.discard("a")
+    assert "a" not in cache
+    assert cache.used == 0
+
+
+def test_cache_capacity_accounting():
+    cache = BufferCache(100)
+    for i in range(20):
+        cache.insert(i, 10)
+    assert cache.used <= 100
+    assert len(cache) == 10
+
+
+def test_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        BufferCache(0)

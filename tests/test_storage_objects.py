@@ -1,0 +1,139 @@
+"""Tests for storage objects: stable/unstable content, commit, truncate."""
+
+from repro.storage.objects import BLOCK_SIZE, ObjectStore, StorageObject
+from repro.util.bytesim import RealData
+
+
+def make_obj():
+    return StorageObject(b"oid-1")
+
+
+def test_stable_write_read():
+    obj = make_obj()
+    obj.write(0, RealData(b"hello"), stable=True)
+    assert obj.read(0, 5) == b"hello"
+    assert obj.size == 5
+
+
+def test_unstable_write_visible_before_commit():
+    obj = make_obj()
+    obj.write(0, RealData(b"draft"), stable=False)
+    assert obj.read(0, 5) == b"draft"
+    assert obj.unstable_ranges == [(0, 5)]
+
+
+def test_unstable_overlays_stable():
+    obj = make_obj()
+    obj.write(0, RealData(b"aaaaaaaaaa"), stable=True)
+    obj.write(3, RealData(b"BB"), stable=False)
+    assert obj.read(0, 10) == b"aaaBBaaaaa"
+
+
+def test_discard_unstable_reverts():
+    obj = make_obj()
+    obj.write(0, RealData(b"aaaaaaaaaa"), stable=True)
+    obj.write(3, RealData(b"BB"), stable=False)
+    obj.discard_unstable()
+    assert obj.read(0, 10) == b"aaaaaaaaaa"
+    assert obj.unstable_ranges == []
+
+
+def test_commit_makes_unstable_survive_discard():
+    obj = make_obj()
+    obj.write(0, RealData(b"data"), stable=False)
+    assert obj.commit() == 4
+    obj.discard_unstable()
+    assert obj.read(0, 4) == b"data"
+
+
+def test_partial_commit_range():
+    obj = make_obj()
+    obj.write(0, RealData(b"aaaa"), stable=False)
+    obj.write(100, RealData(b"bbbb"), stable=False)
+    committed = obj.commit(0, 10)
+    assert committed == 4
+    obj.discard_unstable()
+    assert obj.read(0, 4) == b"aaaa"
+    # The uncommitted tail write is gone entirely: size reverts to 4.
+    assert obj.size == 4
+    assert obj.read(100, 4).length == 0
+
+
+def test_stable_write_shadows_unstable():
+    obj = make_obj()
+    obj.write(0, RealData(b"unstable!!"), stable=False)
+    obj.write(0, RealData(b"stable"), stable=True)
+    # Tail of the unstable range survives beyond the stable overwrite.
+    assert obj.unstable_ranges == [(6, 10)]
+    obj.discard_unstable()
+    assert obj.read(0, 6) == b"stable"
+
+
+def test_unstable_ranges_coalesce():
+    obj = make_obj()
+    obj.write(0, RealData(b"aa"), stable=False)
+    obj.write(2, RealData(b"bb"), stable=False)
+    assert obj.unstable_ranges == [(0, 4)]
+
+
+def test_size_spans_both_layers():
+    obj = make_obj()
+    obj.write(0, RealData(b"x" * 10), stable=True)
+    obj.write(50, RealData(b"y"), stable=False)
+    assert obj.size == 51
+
+
+def test_truncate_cuts_both_layers():
+    obj = make_obj()
+    obj.write(0, RealData(b"x" * 100), stable=True)
+    obj.write(90, RealData(b"y" * 20), stable=False)
+    obj.truncate(95)
+    assert obj.size == 95
+    assert obj.unstable_ranges == [(90, 95)]
+    obj.truncate(0)
+    assert obj.size == 0
+    assert obj.unstable_ranges == []
+
+
+def test_truncate_releases_block_mappings():
+    store = ObjectStore()
+    obj = store.get(b"o", create=True)
+    obj.write(0, RealData(b"z" * (3 * BLOCK_SIZE)), stable=True)
+    for block in range(3):
+        store.phys_for_block(obj, block)
+    obj.truncate(BLOCK_SIZE)
+    assert sorted(obj.block_phys) == [0]
+
+
+def test_store_create_and_remove():
+    store = ObjectStore()
+    assert store.get(b"a") is None
+    obj = store.get(b"a", create=True)
+    assert obj is store.get(b"a")
+    assert store.remove(b"a")
+    assert not store.remove(b"a")
+    assert store.get(b"a") is None
+    assert store.objects_created == 1
+    assert store.objects_removed == 1
+
+
+def test_store_phys_allocation_is_stable():
+    store = ObjectStore()
+    obj = store.get(b"a", create=True)
+    first = store.phys_for_block(obj, 0)
+    assert store.phys_for_block(obj, 0) == first
+    second = store.phys_for_block(obj, 1)
+    assert second != first
+
+
+def test_store_crash_discards_all_unstable():
+    store = ObjectStore()
+    a = store.get(b"a", create=True)
+    b = store.get(b"b", create=True)
+    a.write(0, RealData(b"keep"), stable=True)
+    a.write(10, RealData(b"lose"), stable=False)
+    b.write(0, RealData(b"gone"), stable=False)
+    store.crash()
+    assert a.read(0, 4) == b"keep"
+    assert a.unstable_ranges == []
+    assert b.size == 0

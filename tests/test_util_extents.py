@@ -1,0 +1,140 @@
+"""Tests for the sparse extent map, including a property test against a
+flat bytearray reference model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bytesim import PatternData, RealData
+from repro.util.extents import ExtentMap
+
+
+def test_empty_map():
+    m = ExtentMap()
+    assert m.size == 0
+    assert m.read(0, 100).to_bytes() == b""
+    assert m.stored_bytes() == 0
+
+
+def test_simple_write_read():
+    m = ExtentMap()
+    m.write(0, RealData(b"hello"))
+    assert m.size == 5
+    assert m.read(0, 5).to_bytes() == b"hello"
+    assert m.read(1, 3).to_bytes() == b"ell"
+
+
+def test_read_clamps_to_eof():
+    m = ExtentMap()
+    m.write(0, RealData(b"abc"))
+    assert m.read(0, 100).to_bytes() == b"abc"
+    assert m.read(2, 100).to_bytes() == b"c"
+    assert m.read(3, 100).to_bytes() == b""
+
+
+def test_hole_reads_zero():
+    m = ExtentMap()
+    m.write(10, RealData(b"xy"))
+    assert m.size == 12
+    assert m.read(0, 12).to_bytes() == b"\x00" * 10 + b"xy"
+    assert m.read(5, 6).to_bytes() == b"\x00" * 5 + b"x"
+
+
+def test_overwrite_middle():
+    m = ExtentMap()
+    m.write(0, RealData(b"aaaaaaaaaa"))
+    m.write(3, RealData(b"BBB"))
+    assert m.read(0, 10).to_bytes() == b"aaaBBBaaaa"
+
+
+def test_overwrite_spanning_extents():
+    m = ExtentMap()
+    m.write(0, RealData(b"aaaa"))
+    m.write(4, RealData(b"bbbb"))
+    m.write(2, RealData(b"XXXX"))
+    assert m.read(0, 8).to_bytes() == b"aaXXXXbb"
+
+
+def test_truncate_shrinks():
+    m = ExtentMap()
+    m.write(0, RealData(b"abcdefgh"))
+    m.truncate(3)
+    assert m.size == 3
+    assert m.read(0, 100).to_bytes() == b"abc"
+    assert m.stored_bytes() == 3
+
+
+def test_truncate_grow_leaves_hole():
+    m = ExtentMap()
+    m.write(0, RealData(b"ab"))
+    m.truncate(5)
+    assert m.size == 5
+    assert m.read(0, 5).to_bytes() == b"ab\x00\x00\x00"
+
+
+def test_truncate_then_rewrite():
+    m = ExtentMap()
+    m.write(0, RealData(b"abcdef"))
+    m.truncate(0)
+    assert m.read(0, 10).to_bytes() == b""
+    m.write(0, RealData(b"xy"))
+    assert m.read(0, 10).to_bytes() == b"xy"
+
+
+def test_lazy_extents_stay_lazy():
+    m = ExtentMap()
+    m.write(0, PatternData(1 << 30, seed=5))  # 1 GB, never materialized
+    m.write(100, RealData(b"dirty"))
+    got = m.read(98, 10)
+    expected = bytearray(PatternData(1 << 30, seed=5).slice(98, 108).to_bytes())
+    expected[2:7] = b"dirty"
+    assert got.to_bytes() == bytes(expected)
+    assert m.size == 1 << 30
+
+
+def test_negative_offset_rejected():
+    m = ExtentMap()
+    with pytest.raises(ValueError):
+        m.write(-1, RealData(b"a"))
+    with pytest.raises(ValueError):
+        m.read(-1, 5)
+    with pytest.raises(ValueError):
+        m.truncate(-2)
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("write"), st.integers(0, 120), st.binary(min_size=1, max_size=40)
+            ),
+            st.tuples(st.just("truncate"), st.integers(0, 150), st.just(b"")),
+        ),
+        max_size=12,
+    )
+)
+def test_extent_map_matches_flat_model(ops):
+    """Random writes/truncates agree with a flat bytearray model."""
+    m = ExtentMap()
+    model = bytearray()
+    for op, offset, payload in ops:
+        if op == "write":
+            m.write(offset, RealData(payload))
+            end = offset + len(payload)
+            if len(model) < end:
+                model.extend(b"\x00" * (end - len(model)))
+            model[offset:end] = payload
+        else:
+            m.truncate(offset)
+            if offset <= len(model):
+                del model[offset:]
+            else:
+                model.extend(b"\x00" * (offset - len(model)))
+    assert m.size == len(model)
+    assert m.read(0, len(model) + 10).to_bytes() == bytes(model)
+    # Random interior reads agree too.
+    for start in (0, 3, 17, 64):
+        for length in (0, 1, 5, 100):
+            expected = bytes(model[start : start + length])
+            assert m.read(start, length).to_bytes() == expected

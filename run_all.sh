@@ -1,5 +1,21 @@
 #!/bin/sh
 # Reproduce everything: full test suite, then every paper table/figure.
+#
+#   --with-traces   attach a repro.obs tracer to every cluster
+#                   (REPRO_TRACE=1): tests replay protocol invariants and
+#                   the benchmark session dumps per-tracer metrics tables.
+for arg in "$@"; do
+    case "$arg" in
+        --with-traces)
+            REPRO_TRACE=1
+            export REPRO_TRACE
+            ;;
+        *)
+            echo "usage: $0 [--with-traces]" >&2
+            exit 2
+            ;;
+    esac
+done
 set -x
 pytest tests/ 2>&1 | tee test_output.txt
 pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt

@@ -99,8 +99,10 @@ class UProxy(PacketFilter):
         cost: Optional[CostModel] = None,
         params: Optional[ProxyParams] = None,
         proxy_id: int = 0,
+        tracer=None,
     ):
         self.sim = sim
+        self.tracer = tracer
         self.host = host
         self.virtual = virtual
         self.name_config = name_config
@@ -235,17 +237,26 @@ class UProxy(PacketFilter):
         proc = call.proc
         key = (pkt.src.port, call.xid)
         now = self.host.clock()
+        tracer = self.tracer
+        if tracer is not None:
+            pkt.trace_id = tracer.call_intercepted(
+                pkt.src, call.xid, proc, now, size=pkt.size
+            )
 
-        def redirect(dst: Address, rec: _Pending):
+        def redirect(dst: Address, rec: _Pending, reason: str = "dir-site"):
             rec.dst = dst
             self._remember(key, rec)
             pkt.rewrite_dst(dst)
             self.cost.rewrite(6)
             self.requests_routed += 1
+            if tracer is not None:
+                tracer.route(pkt.src, call.xid, now, dst, reason,
+                             site=rec.site)
+                tracer.rewrite_check(pkt, "redirect")
             return (pkt,)
 
         if proc == proto.PROC_NULL:
-            return redirect(self.dir_table.lookup(0), _Pending(proc))
+            return redirect(self.dir_table.lookup(0), _Pending(proc), "null")
 
         if proc in (proto.PROC_GETATTR, proto.PROC_ACCESS, proto.PROC_READLINK,
                     proto.PROC_FSSTAT, proto.PROC_FSINFO, proto.PROC_PATHCONF):
@@ -257,12 +268,15 @@ class UProxy(PacketFilter):
                     # are *more* current than the directory server's (§4.1);
                     # answer from the cache without a server hop.
                     self.cost.softstate()
+                    if tracer is not None:
+                        tracer.absorb(pkt.src, call.xid, now, "getattr-cache")
                     res = proto.GetattrRes(NFS3_OK, entry.attrs.copy())
                     self._synthesize_reply(pkt.src, call.xid, res)
                     return ()
             site = fh.home_site if fh else 0
             return redirect(
-                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site)
+                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site),
+                "attr-site",
             )
 
         if proc == proto.PROC_SETATTR:
@@ -273,7 +287,8 @@ class UProxy(PacketFilter):
                 self.cost.softstate()
             site = fh.home_site if fh else 0
             return redirect(
-                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site)
+                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site),
+                "attr-site",
             )
 
         if proc in (proto.PROC_LOOKUP, proto.PROC_REMOVE, proto.PROC_RMDIR):
@@ -281,7 +296,8 @@ class UProxy(PacketFilter):
             fh = self._unpack_fh(args.dir_fh)
             site = self.name_config.entry_site(fh, args.name) if fh else 0
             return redirect(
-                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site)
+                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site),
+                "name-entry",
             )
 
         if proc in (proto.PROC_CREATE, proto.PROC_SYMLINK, proto.PROC_MKNOD):
@@ -291,7 +307,8 @@ class UProxy(PacketFilter):
             fh = self._unpack_fh(dir_fh_raw)
             site = self.name_config.entry_site(fh, name) if fh else 0
             return redirect(
-                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site)
+                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site),
+                "name-entry",
             )
 
         if proc == proto.PROC_MKDIR:
@@ -300,7 +317,8 @@ class UProxy(PacketFilter):
             fh = self._unpack_fh(dir_fh_raw)
             site = self.name_config.mkdir_site(fh, name) if fh else 0
             return redirect(
-                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site)
+                self.dir_table.lookup(site), _Pending(proc, fh=fh, site=site),
+                "mkdir-switch",
             )
 
         if proc == proto.PROC_RENAME:
@@ -310,7 +328,9 @@ class UProxy(PacketFilter):
                 self.name_config.entry_site(to_fh, args.to_name) if to_fh else 0
             )
             return redirect(
-                self.dir_table.lookup(site), _Pending(proc, fh=to_fh, site=site)
+                self.dir_table.lookup(site),
+                _Pending(proc, fh=to_fh, site=site),
+                "rename-target",
             )
 
         if proc == proto.PROC_LINK:
@@ -320,7 +340,9 @@ class UProxy(PacketFilter):
                 self.name_config.entry_site(dir_fh, args.name) if dir_fh else 0
             )
             return redirect(
-                self.dir_table.lookup(site), _Pending(proc, fh=dir_fh, site=site)
+                self.dir_table.lookup(site),
+                _Pending(proc, fh=dir_fh, site=site),
+                "name-entry",
             )
 
         if proc in (proto.PROC_READDIR, proto.PROC_READDIRPLUS):
@@ -339,6 +361,7 @@ class UProxy(PacketFilter):
             return redirect(
                 self.dir_table.lookup(site),
                 _Pending(proc, fh=fh, site=site, plus=plus),
+                "readdir-cookie",
             )
 
         if proc == proto.PROC_READ:
@@ -355,6 +378,9 @@ class UProxy(PacketFilter):
                 # Straddles the threshold or a stripe boundary: scatter
                 # the read and gather one reply (§2.1: the µproxy may
                 # initiate and absorb packets).
+                if tracer is not None:
+                    tracer.split(pkt.src, call.xid, now, "read",
+                                 args.offset, args.count, segments)
                 self.sim.process(
                     self._split_read(pkt.src, call.xid, fh, segments),
                     name=f"uproxy-split-read:{self.host.name}",
@@ -362,7 +388,7 @@ class UProxy(PacketFilter):
                 return ()
             rec = _Pending(proc, fh=fh, offset=args.offset, count=args.count)
             if self.sf_table is not None and args.offset < self.io.threshold:
-                return redirect(self._sf_addr(fh.fileid), rec)
+                return redirect(self._sf_addr(fh.fileid), rec, "small-file")
             return self._route_bulk_read(pkt, key, args, fh, rec)
 
         if proc == proto.PROC_WRITE:
@@ -378,6 +404,9 @@ class UProxy(PacketFilter):
             self.cost.softstate()
             segments = self._io_segments(args.offset, args.count)
             if len(segments) > 1:
+                if tracer is not None:
+                    tracer.split(pkt.src, call.xid, now, "write",
+                                 args.offset, args.count, segments)
                 self.sim.process(
                     self._split_write(
                         pkt.src, call.xid, fh, segments, args, pkt.body
@@ -392,7 +421,7 @@ class UProxy(PacketFilter):
             if self.sf_table is not None and args.offset < self.io.threshold:
                 addr = self._sf_addr(fh.fileid)
                 self._note_dirty(fh.fileid, addr)
-                return redirect(addr, rec)
+                return redirect(addr, rec, "small-file")
             return self._route_bulk_write(pkt, key, args, fh, rec)
 
         if proc == proto.PROC_COMMIT:
@@ -401,6 +430,9 @@ class UProxy(PacketFilter):
             if fh is None:
                 return ()
             self.commits_absorbed += 1
+            if tracer is not None:
+                tracer.absorb(pkt.src, call.xid, now, "commit",
+                              fileid=fh.fileid)
             self.sim.process(
                 self._do_commit(pkt.src, call.xid, fh),
                 name=f"uproxy-commit:{self.host.name}",
@@ -426,6 +458,11 @@ class UProxy(PacketFilter):
         if self.params.fill_checksums:
             reply.fill_checksum()
         self.synthesized += 1
+        if self.tracer is not None:
+            reply.trace_id = self.tracer.trace_id_of(client_addr, xid)
+            self.tracer.reply_sent(
+                client_addr, xid, self.host.clock(), synthesized=True
+            )
         self.host.loopback(reply)
 
     # -- request splitting (unaligned I/O) ---------------------------------
@@ -463,6 +500,8 @@ class UProxy(PacketFilter):
                     segments):
         """Scatter a straddling READ, gather the pieces, answer the client."""
         pieces: Dict[int, object] = {}
+        tracer = self.tracer
+        tid = tracer.trace_id_of(client_addr, xid) if tracer is not None else 0
 
         def fetch(seg_off, seg_len):
             targets = self._segment_targets(fh, seg_off)
@@ -470,17 +509,23 @@ class UProxy(PacketFilter):
                 toggle = self._mirror_toggle.get(fh.fileid, 0)
                 self._mirror_toggle[fh.fileid] = toggle + 1
                 targets = [targets[toggle % len(targets)]]
+            status = -1
             try:
                 dec, body = yield from self.client.call(
                     targets[0], proto.NFS_PROGRAM, proto.NFS_V3,
                     proto.PROC_READ,
                     proto.encode_read_args(fh.pack(), seg_off, seg_len),
+                    trace_id=tid,
                 )
                 res = proto.ReadRes.decode(dec)
+                status = res.status
                 if res.status == NFS3_OK:
                     pieces[seg_off] = body
             except RpcTimeout:
                 pass
+            if tracer is not None:
+                tracer.segment(client_addr, xid, self.host.clock(),
+                               seg_off, seg_len, targets[0], status)
 
         procs = [
             self.sim.process(fetch(off, length)) for off, length in segments
@@ -516,10 +561,14 @@ class UProxy(PacketFilter):
         )
         header = ReplyHeader(xid).encode().to_bytes() + res.encode()
         reply = Packet(self.virtual, client_addr, header, body)
+        reply.trace_id = tid
         if self.params.fill_checksums:
             reply.fill_checksum()
         self.synthesized += 1
         self.replies_returned += 1
+        if tracer is not None:
+            tracer.reply_sent(client_addr, xid, self.host.clock(),
+                              synthesized=True, kind="split-read")
         self.host.loopback(reply)
 
     def _split_write(self, client_addr: Address, xid: int, fh: FHandle,
@@ -527,11 +576,14 @@ class UProxy(PacketFilter):
         """Scatter a straddling WRITE; reply once everything is placed."""
         start = args.offset
         statuses = []
+        tracer = self.tracer
+        tid = tracer.trace_id_of(client_addr, xid) if tracer is not None else 0
 
         def put(seg_off, seg_len):
             data = body.slice(seg_off - start, seg_off - start + seg_len)
             for addr in self._segment_targets(fh, seg_off):
                 self._note_dirty(fh.fileid, addr)
+                status = -1
                 try:
                     dec, _ = yield from self.client.call(
                         addr, proto.NFS_PROGRAM, proto.NFS_V3,
@@ -540,13 +592,18 @@ class UProxy(PacketFilter):
                             fh.pack(), seg_off, seg_len, args.stable
                         ),
                         data,
+                        trace_id=tid,
                     )
                     res = proto.WriteRes.decode(dec)
+                    status = res.status
                     statuses.append(res.status)
                     if res.status == NFS3_OK:
                         self._track_node_verf(addr, res.verf)
                 except RpcTimeout:
                     statuses.append(NFS3_OK + 5)  # NFS3ERR_IO equivalent
+                if tracer is not None:
+                    tracer.segment(client_addr, xid, self.host.clock(),
+                                   seg_off, seg_len, addr, status)
 
         procs = [
             self.sim.process(put(off, length)) for off, length in segments
@@ -561,10 +618,14 @@ class UProxy(PacketFilter):
         )
         header = ReplyHeader(xid).encode().to_bytes() + res.encode()
         reply = Packet(self.virtual, client_addr, header)
+        reply.trace_id = tid
         if self.params.fill_checksums:
             reply.fill_checksum()
         self.synthesized += 1
         self.replies_returned += 1
+        if tracer is not None:
+            tracer.reply_sent(client_addr, xid, self.host.clock(),
+                              synthesized=True, kind="split-write")
         self.host.loopback(reply)
 
     # -- bulk I/O routing ---------------------------------------------------
@@ -600,6 +661,13 @@ class UProxy(PacketFilter):
         pkt.rewrite_dst(dst)
         self.cost.rewrite(6)
         self.requests_routed += 1
+        if self.tracer is not None:
+            self.tracer.route(
+                pkt.src, key[1], self.host.clock(), dst, "bulk-read",
+                site=site, block=block, mirrored=fh.mirrored,
+                replicas=len(sites),
+            )
+            self.tracer.rewrite_check(pkt, "bulk-read")
         return (pkt,)
 
     def _route_bulk_write(self, pkt, key, args, fh: FHandle, rec: _Pending):
@@ -623,11 +691,22 @@ class UProxy(PacketFilter):
         self.cost.rewrite(6)
         out.append(pkt)
         for addr in targets[1:]:
-            clone = Packet(pkt.src, pkt.dst, pkt.header, pkt.body, pkt.cksum)
+            clone = Packet(
+                pkt.src, pkt.dst, pkt.header, pkt.body, pkt.cksum,
+                trace_id=pkt.trace_id,
+            )
             clone.rewrite_dst(addr)
             self.cost.rewrite(6)
             out.append(clone)
         self.requests_routed += 1
+        if self.tracer is not None:
+            self.tracer.route(
+                pkt.src, key[1], self.host.clock(), targets[0], "bulk-write",
+                site=sites[0], block=block, mirrored=fh.mirrored,
+                replicas=len(targets),
+            )
+            for rewritten in out:
+                self.tracer.rewrite_check(rewritten, "bulk-write")
         return tuple(out)
 
     def _fetch_map_and_resend(self, pkt: Packet, fh: FHandle, block: int):
@@ -664,6 +743,8 @@ class UProxy(PacketFilter):
     def _do_commit(self, client_addr: Address, xid: int, fh: FHandle):
         """Absorbed COMMIT: fan out to dirty sites under an intention."""
         fileid = fh.fileid
+        tracer = self.tracer
+        tid = tracer.trace_id_of(client_addr, xid) if tracer is not None else 0
         sites = self.dirty_sites.pop(fileid, None)
         if sites is None:
             # Soft state lost: conservatively commit everywhere this file
@@ -674,6 +755,10 @@ class UProxy(PacketFilter):
         targets = sorted(sites)
         coord = self._coordinator_for(fileid)
         op_id = (self.proxy_id << 32) | next(self._op_counter)
+        if tracer is not None:
+            tracer.route(client_addr, xid, self.host.clock(),
+                         targets[0] if targets else "-", "commit-fanout",
+                         fanout=len(targets), op_id=op_id)
         if coord is not None and len(targets) > 1:
             intent = cp.Intent(
                 op_id, cp.K_COMMIT, fh.pack(), 0, 0,
@@ -684,13 +769,15 @@ class UProxy(PacketFilter):
                     yield from self.client.call(
                         coord, cp.SLICE_COORD_PROGRAM, cp.COORD_V1,
                         cp.COORD_INTENT, cp.encode_intent_args(intent),
+                        trace_id=tid,
                     )
                 except RpcTimeout:
                     pass
             else:
                 self.sim.process(self._send_intent(coord, intent))
         procs = [
-            self.sim.process(self._commit_site(addr, fh)) for addr in targets
+            self.sim.process(self._commit_site(addr, fh, trace_id=tid))
+            for addr in targets
         ]
         if procs:
             yield self.sim.all_of(procs)
@@ -705,9 +792,13 @@ class UProxy(PacketFilter):
         res = proto.CommitRes(NFS3_OK, attrs, verf=self.verf_epoch)
         header = ReplyHeader(xid).encode().to_bytes() + res.encode()
         reply = Packet(self.virtual, client_addr, header)
+        reply.trace_id = tid
         if self.params.fill_checksums:
             reply.fill_checksum()
         self.synthesized += 1
+        if tracer is not None:
+            tracer.reply_sent(client_addr, xid, self.host.clock(),
+                              synthesized=True, kind="commit")
         self.host.loopback(reply)
 
     def _send_intent(self, coord: Address, intent: cp.Intent):
@@ -728,13 +819,13 @@ class UProxy(PacketFilter):
         except RpcTimeout:
             pass
 
-    def _commit_site(self, addr: Address, fh: FHandle):
+    def _commit_site(self, addr: Address, fh: FHandle, trace_id: int = 0):
         try:
             # Commits flush disk queues; give them a generous timer.
             dec, _ = yield from self.client.call(
                 addr, proto.NFS_PROGRAM, proto.NFS_V3, proto.PROC_COMMIT,
                 proto.encode_commit_args(fh.pack(), 0, 0),
-                retrans_timeout=3.0, max_tries=5,
+                retrans_timeout=3.0, max_tries=5, trace_id=trace_id,
             )
             res = proto.CommitRes.decode(dec)
             self._track_node_verf(addr, res.verf)
@@ -786,6 +877,8 @@ class UProxy(PacketFilter):
             # Stale routing hint: drop the reply, refresh tables; the
             # client's retransmission re-routes via the new table.
             self.misdirects_seen += 1
+            if self.tracer is not None:
+                self.tracer.misdirected(pkt.dst, xid, self.host.clock())
             del self.pending[key]
             self._refresh_tables()
             return ()
@@ -798,6 +891,9 @@ class UProxy(PacketFilter):
         pkt.rewrite_src(self.virtual)
         self.cost.rewrite(6)
         self.replies_returned += 1
+        if self.tracer is not None:
+            self.tracer.reply_sent(pkt.dst, key[1], self.host.clock())
+            self.tracer.rewrite_check(pkt, "finish")
         return (pkt,)
 
     def _postprocess(self, pkt: Packet, key, rec: _Pending, dec: Decoder):
@@ -885,7 +981,7 @@ class UProxy(PacketFilter):
         )
         xid = int.from_bytes(pkt.header[:4], "big")
         header = ReplyHeader(xid).encode().to_bytes() + new_res.encode()
-        rebuilt = Packet(pkt.src, pkt.dst, header, body)
+        rebuilt = Packet(pkt.src, pkt.dst, header, body, trace_id=pkt.trace_id)
         if pkt.cksum is not None:
             rebuilt.fill_checksum()
         self.cost.rewrite(len(header))
@@ -923,11 +1019,15 @@ class UProxy(PacketFilter):
         )
         xid = int.from_bytes(pkt.header[:4], "big")
         header = ReplyHeader(xid).encode().to_bytes() + new_res.encode()
-        reply = Packet(self.virtual, pkt.dst, header, body)
+        reply = Packet(self.virtual, pkt.dst, header, body,
+                       trace_id=pkt.trace_id)
         if pkt.cksum is not None:
             reply.fill_checksum()
         self.synthesized += 1
         self.replies_returned += 1
+        if self.tracer is not None:
+            self.tracer.reply_sent(pkt.dst, xid, self.host.clock(),
+                                   synthesized=True, kind="read-fixup")
         self.host.loopback(reply)
 
     # -- WRITE reply: virtualize the verifier, patch attrs, pair mirrors -----
@@ -982,7 +1082,7 @@ class UProxy(PacketFilter):
             res.eof = False
             xid = int.from_bytes(pkt.header[:4], "big")
             header = ReplyHeader(xid).encode().to_bytes() + res.encode()
-            rebuilt = Packet(pkt.src, pkt.dst, header)
+            rebuilt = Packet(pkt.src, pkt.dst, header, trace_id=pkt.trace_id)
             if pkt.cksum is not None:
                 rebuilt.fill_checksum()
             self.cost.rewrite(len(header))
@@ -1035,10 +1135,15 @@ class UProxy(PacketFilter):
                 break
         header = ReplyHeader(xid).encode().to_bytes() + final.encode()
         reply = Packet(self.virtual, client_addr, header)
+        if self.tracer is not None:
+            reply.trace_id = self.tracer.trace_id_of(client_addr, xid)
         if self.params.fill_checksums:
             reply.fill_checksum()
         self.synthesized += 1
         self.replies_returned += 1
+        if self.tracer is not None:
+            self.tracer.reply_sent(client_addr, xid, self.host.clock(),
+                                   synthesized=True, kind="readdir-chain")
         self.host.loopback(reply)
 
     # ------------------------------------------------------------------

@@ -108,6 +108,7 @@ class DirectoryServer:
         volume: int = 1,
         port: int = DIR_PORT,
         mirror_files: bool = False,
+        tracer=None,
     ):
         self.sim = sim
         self.host = host
@@ -119,7 +120,10 @@ class DirectoryServer:
         self.volume = volume
         self.port = port
         self.mirror_files = mirror_files
+        self.tracer = tracer
         self.server = RpcServer(host, port, fill_checksums=self.params.fill_checksums)
+        self.server.tracer = tracer
+        self.server.trace_component = f"dirsvc:{host.name}"
         self.server.register(proto.NFS_PROGRAM, self._nfs_service)
         self.server.register(pp.SLICE_PEER_PROGRAM, self._peer_service)
         self.client = RpcClient(
@@ -232,6 +236,11 @@ class DirectoryServer:
         state = self.sites.get(site)
         if state is None:
             self.misdirected += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    f"dirsvc:{self.host.name}", "misdirected",
+                    self.sim.now, site=site,
+                )
             raise _Misdirected(site)
         return state
 

@@ -8,6 +8,7 @@ interposed on the client host's network path to the virtual NFS server.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Tuple
 
 from repro.core import CostModel, ProxyParams, RoutingTable, UProxy
@@ -38,11 +39,17 @@ class SliceCluster:
         self,
         sim: Optional[Simulator] = None,
         params: Optional[ClusterParams] = None,
+        tracer=None,
     ):
         self.sim = sim or Simulator()
         self.params = params or ClusterParams()
+        if tracer is None and os.environ.get("REPRO_TRACE"):
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        self.tracer = tracer
         p = self.params
-        self.net = Network(self.sim, p.net)
+        self.net = Network(self.sim, p.net, tracer=tracer)
         self.name_config: NameConfig = p.name_config()
         self.virtual = Address("slice-fs", 2049)
 
@@ -50,7 +57,9 @@ class SliceCluster:
         self.storage_nodes: List[StorageNode] = []
         for i in range(p.num_storage_nodes):
             host = self.net.add_host(f"store{i}", cpu_speedup=1.6)
-            self.storage_nodes.append(StorageNode(self.sim, host, p.storage))
+            self.storage_nodes.append(
+                StorageNode(self.sim, host, p.storage, tracer=tracer)
+            )
         self.storage_addrs = [n.address for n in self.storage_nodes]
 
         # -- shared backing state for dataless managers ------------------------
@@ -70,7 +79,7 @@ class SliceCluster:
             self.sf_servers.append(
                 SmallFileServer(
                     self.sim, host, self.backing, sites, self.storage_addrs,
-                    p.sf_logical_sites, p.smallfile,
+                    p.sf_logical_sites, p.smallfile, tracer=tracer,
                 )
             )
 
@@ -82,7 +91,7 @@ class SliceCluster:
             self.coordinators.append(
                 Coordinator(
                     self.sim, host, data_sites, p.num_storage_nodes,
-                    p.coordinator,
+                    p.coordinator, tracer=tracer,
                 )
             )
         self.coordinator_addrs = [c.address for c in self.coordinators]
@@ -102,6 +111,7 @@ class SliceCluster:
                 coordinator=self.coordinator_addrs[0] if self.coordinators else None,
                 params=p.dirsvc,
                 mirror_files=p.mirror_files,
+                tracer=tracer,
             )
             self.dir_servers.append(server)
             # Each manager journals to its own dedicated log spindle; all of
@@ -165,6 +175,7 @@ class SliceCluster:
             cost=cost,
             params=pp,
             proxy_id=len(self.clients) + 1,
+            tracer=self.tracer,
         )
         cp = client_params or self.params.client
         client = NfsClient(self.sim, host, self.virtual, port=port, params=cp)

@@ -26,11 +26,25 @@ class LatencyRecorder:
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile (numpy's default convention).
+
+        ``p`` is clamped to [0, 1].  With one sample every percentile is
+        that sample; p=0 is the minimum and p=1 the maximum.  The previous
+        implementation used nearest-rank, which overstates tail latencies
+        for small sample counts.
+        """
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, max(0, math.ceil(p * len(ordered)) - 1))
-        return ordered[index]
+        n = len(ordered)
+        if n == 1:
+            return ordered[0]
+        p = min(1.0, max(0.0, p))
+        rank = p * (n - 1)
+        lo = math.floor(rank)
+        hi = min(n - 1, lo + 1)
+        frac = rank - lo
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
     def max(self) -> float:
         return max(self.samples) if self.samples else 0.0

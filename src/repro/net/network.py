@@ -34,9 +34,11 @@ class NetParams:
 class Network:
     """Hosts plus the switch connecting them."""
 
-    def __init__(self, sim: Simulator, params: Optional[NetParams] = None):
+    def __init__(self, sim: Simulator, params: Optional[NetParams] = None,
+                 tracer=None):
         self.sim = sim
         self.params = params or NetParams()
+        self.tracer = tracer
         self.hosts: Dict[str, Host] = {}
         self._output_ports: Dict[str, Resource] = {}
         # Optional fault hook: return True to drop the packet silently.
@@ -89,10 +91,14 @@ class Network:
         """Launch the store-and-forward journey of one packet."""
         if self.drop_fn is not None and self.drop_fn(packet):
             self.packets_dropped += 1
+            if self.tracer is not None:
+                self.tracer.packet_dropped(packet, self.sim.now, "fault")
             return
         dst_host = self.hosts.get(packet.dst.host)
         if dst_host is None:
             self.packets_dropped += 1
+            if self.tracer is not None:
+                self.tracer.packet_dropped(packet, self.sim.now, "no-route")
             return
         self.sim.process(
             self._journey(src_host, dst_host, packet),
@@ -118,4 +124,6 @@ class Network:
     def _arrive(self, dst_host: Host, packet: Packet) -> None:
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
+        if self.tracer is not None:
+            self.tracer.packet_delivered(packet, self.sim.now)
         dst_host.deliver(packet)

@@ -1,0 +1,32 @@
+"""repro.obs: zero-dependency tracing, metrics, and invariant checking.
+
+The observability subsystem for the Slice reproduction:
+
+- :class:`Tracer` — per-exchange span trees threaded through the µproxy,
+  the simulated fabric, the RPC servers, and the coordinator's intention
+  log (off by default; attach one to a :class:`~repro.ensemble.cluster.
+  SliceCluster` to enable).
+- :class:`MetricsRegistry` — per-component counters/histograms that dump
+  through the benchmark table formatter.
+- :class:`TraceChecker` — replays completed traces and asserts cross-site
+  protocol invariants, turning any end-to-end test into a correctness
+  oracle.
+
+See ``docs/OBSERVABILITY.md`` for the span schema and the invariant list.
+"""
+
+from .checker import InvariantViolation, TraceChecker, Violation
+from .metrics import MetricsRegistry, MetricsScope
+from .trace import ExchangeTrace, Span, Tracer, all_tracers
+
+__all__ = [
+    "ExchangeTrace",
+    "InvariantViolation",
+    "MetricsRegistry",
+    "MetricsScope",
+    "Span",
+    "TraceChecker",
+    "Tracer",
+    "Violation",
+    "all_tracers",
+]

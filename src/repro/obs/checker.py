@@ -1,0 +1,201 @@
+"""Trace-replay invariant checker: traces as a correctness oracle.
+
+Given a :class:`~repro.obs.trace.Tracer` that watched a run, the checker
+replays the completed exchange traces and asserts the protocol invariants
+that make interposed request routing trustworthy:
+
+``reply-unique``
+    An exchange never gets more replies toward the client than the client
+    sent requests — duplicate-reply bugs (e.g. a synthesized reply racing a
+    forwarded one) violate NFS's at-most-one-matching-reply contract.
+
+``reply-present``
+    Every exchange the µproxy intercepted eventually produced at least one
+    reply toward the client (enforced only when ``require_replies``; fault
+    runs that abandon calls may disable it).
+
+``segments-tile``
+    A split READ/WRITE's scattered segments exactly tile
+    ``[offset, offset + count)``: sorted, gap-free, overlap-free.
+
+``checksum-delta``
+    Every incrementally-adjusted checksum the µproxy produced (RFC 1624
+    differential update) equals a full RFC 1071 recomputation.
+
+``packet-checksum``
+    No packet arrived anywhere in the fabric with an invalid checksum.
+
+``intent-closed``
+    Every intention logged at a coordinator was completed or recovered.
+
+Any integration test or benchmark becomes a whole-system correctness check
+by attaching a tracer and calling :meth:`TraceChecker.check` at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .trace import INTENT_OPEN, ExchangeTrace, Tracer
+
+__all__ = ["Violation", "InvariantViolation", "TraceChecker"]
+
+
+@dataclass
+class Violation:
+    rule: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :meth:`TraceChecker.check` when any invariant fails."""
+
+    def __init__(self, violations: List[Violation]):
+        self.violations = violations
+        preview = "\n  ".join(str(v) for v in violations[:10])
+        more = (
+            f"\n  ... and {len(violations) - 10} more"
+            if len(violations) > 10 else ""
+        )
+        super().__init__(
+            f"{len(violations)} trace invariant violation(s):\n  "
+            f"{preview}{more}"
+        )
+
+
+class TraceChecker:
+    """Replays a tracer's records and asserts protocol invariants."""
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+
+    # -- per-exchange rules -------------------------------------------------
+
+    def _check_replies(self, exchange: ExchangeTrace,
+                       require_replies: bool) -> List[Violation]:
+        out = []
+        subject = f"exchange {exchange.key}"
+        if exchange.n_replies > exchange.n_calls:
+            out.append(Violation(
+                "reply-unique", subject,
+                f"{exchange.n_replies} replies for {exchange.n_calls} "
+                f"call(s) (proc={exchange.proc})",
+            ))
+        if require_replies and exchange.n_calls > 0 and exchange.n_replies == 0:
+            out.append(Violation(
+                "reply-present", subject,
+                f"no reply ever returned (proc={exchange.proc}, "
+                f"{exchange.n_calls} call(s))",
+            ))
+        return out
+
+    def _check_segments(self, exchange: ExchangeTrace) -> List[Violation]:
+        out = []
+        subject = f"exchange {exchange.key}"
+        for kind, offset, count, segments in exchange.splits:
+            label = f"split-{kind} [{offset}, {offset + count})"
+            if not segments:
+                out.append(Violation(
+                    "segments-tile", subject, f"{label}: empty segment list"
+                ))
+                continue
+            ordered = sorted(segments)
+            if ordered != segments:
+                out.append(Violation(
+                    "segments-tile", subject,
+                    f"{label}: segments out of order: {segments}",
+                ))
+            pos = offset
+            bad = False
+            for seg_off, seg_len in ordered:
+                if seg_len <= 0:
+                    out.append(Violation(
+                        "segments-tile", subject,
+                        f"{label}: non-positive segment ({seg_off}, {seg_len})",
+                    ))
+                    bad = True
+                    break
+                if seg_off < pos:
+                    out.append(Violation(
+                        "segments-tile", subject,
+                        f"{label}: overlap at {seg_off} (previous segment "
+                        f"ends at {pos})",
+                    ))
+                    bad = True
+                    break
+                if seg_off > pos:
+                    out.append(Violation(
+                        "segments-tile", subject,
+                        f"{label}: gap [{pos}, {seg_off})",
+                    ))
+                    bad = True
+                    break
+                pos = seg_off + seg_len
+            if not bad and pos != offset + count:
+                out.append(Violation(
+                    "segments-tile", subject,
+                    f"{label}: segments end at {pos}, expected "
+                    f"{offset + count}",
+                ))
+        return out
+
+    def _check_rewrites(self, exchange: ExchangeTrace) -> List[Violation]:
+        out = []
+        subject = f"exchange {exchange.key}"
+        for where, incremental, recomputed in exchange.rewrite_checks:
+            if incremental != recomputed:
+                out.append(Violation(
+                    "checksum-delta", subject,
+                    f"at {where}: incremental {incremental:#06x} != "
+                    f"recomputed {recomputed:#06x}",
+                ))
+        return out
+
+    # -- global rules ---------------------------------------------------------
+
+    def _check_packet_checksums(self) -> List[Violation]:
+        return [
+            Violation("packet-checksum", "network", failure)
+            for failure in self.tracer.checksum_failures
+        ]
+
+    def _check_intents(self, allow_open_intents: bool) -> List[Violation]:
+        if allow_open_intents:
+            return []
+        return [
+            Violation(
+                "intent-closed", f"intent op_id={op_id:#x}",
+                f"logged (kind={kind}) but never completed or recovered",
+            )
+            for op_id, (state, kind) in self.tracer.intents.items()
+            if state == INTENT_OPEN
+        ]
+
+    # -- entry points ---------------------------------------------------------
+
+    def violations(self, require_replies: bool = True,
+                   allow_open_intents: bool = False) -> List[Violation]:
+        out: List[Violation] = []
+        for exchange in self.tracer.exchanges.values():
+            out.extend(self._check_replies(exchange, require_replies))
+            out.extend(self._check_segments(exchange))
+            out.extend(self._check_rewrites(exchange))
+        out.extend(self._check_packet_checksums())
+        out.extend(self._check_intents(allow_open_intents))
+        return out
+
+    def check(self, require_replies: bool = True,
+              allow_open_intents: bool = False) -> Dict[str, int]:
+        """Assert all invariants; returns the tracer summary on success."""
+        found = self.violations(
+            require_replies=require_replies,
+            allow_open_intents=allow_open_intents,
+        )
+        if found:
+            raise InvariantViolation(found)
+        return self.tracer.summary()

@@ -1,0 +1,469 @@
+"""End-to-end request tracing for the Slice ensemble.
+
+A :class:`Tracer` observes every hop an NFS exchange takes through the
+interposed architecture: the µproxy intercepting the client's CALL, the
+route decision (mkdir-switch vs name-hash site, small-file vs bulk split,
+mirror selection), packet rewrites with their differential checksum
+adjustments, fabric delivery, server-side handling, and finally the
+reply(ies) returned toward the client — plus the coordinator's intention
+log lifecycle for multi-site operations.
+
+Exchanges are keyed by ``(client address, rpc xid)`` — the same soft-state
+key the µproxy itself uses — and every packet the µproxy touches is stamped
+with a per-exchange ``trace_id`` so downstream components (the network, RPC
+servers) can attribute their events without decoding anything.
+
+Traces double as a *correctness oracle*: :class:`repro.obs.TraceChecker`
+replays completed traces and asserts cross-site protocol invariants, so any
+integration test or benchmark that attaches a tracer becomes a whole-system
+correctness check.
+
+Instrumentation is off by default.  Components accept ``tracer=None`` and
+guard every call site with a single ``is not None`` test, keeping the
+disabled cost well under the 2% budget on the µproxy CPU benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "ExchangeTrace", "Tracer", "all_tracers"]
+
+# Tracers register themselves here (weakly) so session-level hooks — e.g.
+# the benchmark conftest's metrics dump — can find whatever was created.
+_ACTIVE: "List[weakref.ref]" = []
+
+
+def all_tracers() -> List["Tracer"]:
+    """Every live tracer created in this process."""
+    alive = []
+    dead = []
+    for ref in _ACTIVE:
+        tracer = ref()
+        if tracer is None:
+            dead.append(ref)
+        else:
+            alive.append(tracer)
+    for ref in dead:
+        _ACTIVE.remove(ref)
+    return alive
+
+
+class Span:
+    """One node of an exchange's span tree.
+
+    A span may be a point event (``end_ts is None`` never closed) or a
+    duration (closed via :meth:`finish`).  ``attrs`` carries the route
+    decision / rewrite / segment details the checker consumes.
+    """
+
+    __slots__ = ("span_id", "parent_id", "component", "name", "ts", "end_ts",
+                 "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int],
+                 component: str, name: str, ts: float, attrs: Dict):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.component = component
+        self.name = name
+        self.ts = ts
+        self.end_ts: Optional[float] = None
+        self.attrs = attrs
+
+    def finish(self, ts: float, **attrs) -> "Span":
+        self.end_ts = ts
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        return (self.end_ts - self.ts) if self.end_ts is not None else 0.0
+
+    def __repr__(self):
+        extra = f" {self.attrs}" if self.attrs else ""
+        return f"Span({self.component}/{self.name} @{self.ts:.6f}{extra})"
+
+
+class ExchangeTrace:
+    """All spans for one (client, xid) NFS exchange."""
+
+    __slots__ = (
+        "key", "trace_id", "proc", "spans", "n_calls", "n_replies",
+        "splits", "rewrite_checks", "_root", "_current_call", "_span_ids",
+    )
+
+    def __init__(self, key, trace_id: int, ts: float):
+        self.key = key
+        self.trace_id = trace_id
+        self.proc: Optional[int] = None
+        self._span_ids = itertools.count(1)
+        self._root = Span(0, None, "uproxy", "exchange", ts, {})
+        self.spans: List[Span] = [self._root]
+        self._current_call: Span = self._root
+        self.n_calls = 0
+        self.n_replies = 0
+        # (kind, offset, count, [(seg_offset, seg_len), ...])
+        self.splits: List[Tuple[str, int, int, List[Tuple[int, int]]]] = []
+        # (where, incremental_cksum, recomputed_cksum)
+        self.rewrite_checks: List[Tuple[str, int, int]] = []
+
+    # -- span construction --------------------------------------------------
+
+    def add(self, component: str, name: str, ts: float,
+            parent: Optional[Span] = None, **attrs) -> Span:
+        parent_span = parent if parent is not None else self._root
+        span = Span(next(self._span_ids), parent_span.span_id,
+                    component, name, ts, attrs)
+        self.spans.append(span)
+        return span
+
+    def new_call(self, ts: float, **attrs) -> Span:
+        self.n_calls += 1
+        span = self.add("uproxy", "call", ts, **attrs)
+        self._current_call = span
+        return span
+
+    @property
+    def current_call(self) -> Span:
+        return self._current_call
+
+    @property
+    def root(self) -> Span:
+        return self._root
+
+    # -- export -------------------------------------------------------------
+
+    def tree(self) -> Dict:
+        """Nested dict export of the span tree (children in arrival order)."""
+        children: Dict[int, List[Span]] = {}
+        for span in self.spans[1:]:
+            children.setdefault(span.parent_id, []).append(span)
+
+        def node(span: Span) -> Dict:
+            return {
+                "component": span.component,
+                "name": span.name,
+                "ts": span.ts,
+                "end_ts": span.end_ts,
+                "attrs": dict(span.attrs),
+                "children": [node(c) for c in children.get(span.span_id, [])],
+            }
+
+        return node(self._root)
+
+    def format(self) -> str:
+        """Indented human-readable dump (for failures and debugging)."""
+        children: Dict[int, List[Span]] = {}
+        for span in self.spans[1:]:
+            children.setdefault(span.parent_id, []).append(span)
+        lines = [f"exchange key={self.key} tid={self.trace_id} "
+                 f"calls={self.n_calls} replies={self.n_replies}"]
+
+        def walk(span: Span, depth: int) -> None:
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            dur = f" dur={span.duration * 1e6:.1f}us" if span.end_ts else ""
+            lines.append(
+                "  " * depth
+                + f"{span.component}/{span.name} @{span.ts:.6f}{dur}"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+            for child in children.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        walk(self._root, 1)
+        return "\n".join(lines)
+
+
+# Intent lifecycle states.
+INTENT_OPEN = "open"
+INTENT_COMPLETED = "completed"
+INTENT_RECOVERED = "recovered"
+
+
+class Tracer:
+    """Collects exchange traces, intent lifecycles, and component metrics.
+
+    One tracer per cluster.  All record methods are safe to call from any
+    simulated process; nothing here yields or blocks.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 capacity: int = 1 << 18, keep_component_events: int = 4096):
+        self.enabled = True
+        self.metrics = metrics or MetricsRegistry()
+        self.capacity = capacity
+        self.exchanges: "OrderedDict[Tuple, ExchangeTrace]" = OrderedDict()
+        self._by_tid: Dict[int, Tuple] = {}
+        self._tid_counter = itertools.count(1)
+        self.evicted = 0
+        # op_id -> (state, kind)
+        self.intents: Dict[int, Tuple[str, int]] = {}
+        # Packets whose full-recompute checksum failed at delivery.
+        self.checksum_failures: List[str] = []
+        self.packets_checked = 0
+        # Small ring of free-form component events (debugging aid).
+        self.component_events = deque(maxlen=keep_component_events)
+        _ACTIVE.append(weakref.ref(self))
+
+    # ------------------------------------------------------------------
+    # exchange bookkeeping (µproxy side)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(client, xid: int) -> Tuple:
+        return (client, xid)
+
+    def exchange(self, client, xid: int) -> Optional[ExchangeTrace]:
+        return self.exchanges.get(self._key(client, xid))
+
+    def trace_id_of(self, client, xid: int) -> int:
+        exchange = self.exchanges.get(self._key(client, xid))
+        return exchange.trace_id if exchange is not None else 0
+
+    def _get_or_create(self, client, xid: int, ts: float) -> ExchangeTrace:
+        key = self._key(client, xid)
+        exchange = self.exchanges.get(key)
+        if exchange is None:
+            exchange = ExchangeTrace(key, next(self._tid_counter), ts)
+            self.exchanges[key] = exchange
+            self._by_tid[exchange.trace_id] = key
+            while len(self.exchanges) > self.capacity:
+                _old_key, old = self.exchanges.popitem(last=False)
+                self._by_tid.pop(old.trace_id, None)
+                self.evicted += 1
+        return exchange
+
+    def call_intercepted(self, client, xid: int, proc: int, ts: float,
+                         size: int = 0) -> int:
+        """The µproxy intercepted a client CALL; returns the trace id to
+        stamp onto the packet."""
+        if not self.enabled:
+            return 0
+        exchange = self._get_or_create(client, xid, ts)
+        exchange.proc = proc
+        exchange.new_call(ts, proc=proc, size=size)
+        self.metrics.scope("uproxy").inc("calls_intercepted")
+        return exchange.trace_id
+
+    def route(self, client, xid: int, ts: float, dst, reason: str,
+              site: Optional[int] = None, **attrs) -> None:
+        """Route decision: where this request is being redirected and why."""
+        if not self.enabled:
+            return
+        exchange = self.exchanges.get(self._key(client, xid))
+        if exchange is None:
+            return
+        if site is not None:
+            attrs["site"] = site
+        exchange.add("uproxy", "route", ts, parent=exchange.current_call,
+                     dst=str(dst), reason=reason, **attrs)
+        self.metrics.scope("uproxy").inc(f"route.{reason}")
+
+    def absorb(self, client, xid: int, ts: float, what: str, **attrs) -> None:
+        """The µproxy absorbed the request (it will synthesize the reply)."""
+        if not self.enabled:
+            return
+        exchange = self.exchanges.get(self._key(client, xid))
+        if exchange is None:
+            return
+        exchange.add("uproxy", "absorb", ts, parent=exchange.current_call,
+                     what=what, **attrs)
+        self.metrics.scope("uproxy").inc(f"absorb.{what}")
+
+    def split(self, client, xid: int, ts: float, kind: str, offset: int,
+              count: int, segments: List[Tuple[int, int]]) -> Optional[Span]:
+        """A straddling READ/WRITE was split into per-owner segments."""
+        if not self.enabled:
+            return None
+        exchange = self.exchanges.get(self._key(client, xid))
+        if exchange is None:
+            return None
+        segs = [(int(off), int(length)) for off, length in segments]
+        exchange.splits.append((kind, offset, count, segs))
+        span = exchange.add(
+            "uproxy", "split", ts, parent=exchange.current_call,
+            kind=kind, offset=offset, count=count, segments=len(segs),
+        )
+        self.metrics.scope("uproxy").inc(f"split.{kind}")
+        return span
+
+    def segment(self, client, xid: int, ts: float, offset: int, length: int,
+                target, status: int, parent: Optional[Span] = None) -> None:
+        """One scattered segment of a split I/O completed."""
+        if not self.enabled:
+            return
+        exchange = self.exchanges.get(self._key(client, xid))
+        if exchange is None:
+            return
+        exchange.add("uproxy", "segment", ts, parent=parent,
+                     offset=offset, length=length, target=str(target),
+                     status=status)
+
+    def reply_sent(self, client, xid: int, ts: float,
+                   synthesized: bool = False, **attrs) -> None:
+        """A reply left the µproxy toward the original client."""
+        if not self.enabled:
+            return
+        exchange = self.exchanges.get(self._key(client, xid))
+        if exchange is None:
+            return
+        exchange.n_replies += 1
+        exchange.add("uproxy", "reply", ts, synthesized=synthesized, **attrs)
+        scope = self.metrics.scope("uproxy")
+        scope.inc("replies_returned")
+        if synthesized:
+            scope.inc("replies_synthesized")
+        if exchange.root.end_ts is None:
+            exchange.root.finish(ts)
+
+    def misdirected(self, client, xid: int, ts: float) -> None:
+        if not self.enabled:
+            return
+        exchange = self.exchanges.get(self._key(client, xid))
+        if exchange is not None:
+            exchange.add("uproxy", "misdirected", ts,
+                         parent=exchange.current_call)
+        self.metrics.scope("uproxy").inc("misdirects")
+
+    def rewrite_check(self, pkt, where: str) -> None:
+        """Record a rewritten packet's incremental checksum next to a full
+        recomputation — the checker asserts they agree."""
+        if not self.enabled or pkt.cksum is None:
+            return
+        key = self._by_tid.get(pkt.trace_id)
+        if key is None:
+            return
+        exchange = self.exchanges.get(key)
+        if exchange is None:
+            return
+        exchange.rewrite_checks.append(
+            (where, pkt.cksum, pkt.compute_checksum())
+        )
+        self.metrics.scope("uproxy").inc("rewrites_checked")
+
+    # ------------------------------------------------------------------
+    # network side
+    # ------------------------------------------------------------------
+
+    def packet_delivered(self, pkt, ts: float) -> None:
+        if not self.enabled:
+            return
+        scope = self.metrics.scope("net")
+        scope.inc("packets_delivered")
+        scope.inc("bytes_delivered", pkt.size)
+        self.packets_checked += 1
+        if pkt.cksum is not None and not pkt.checksum_ok():
+            self.checksum_failures.append(
+                f"{pkt!r} cksum={pkt.cksum:#06x} "
+                f"recomputed={pkt.compute_checksum():#06x}"
+            )
+            scope.inc("checksum_failures")
+        key = self._by_tid.get(pkt.trace_id)
+        if key is not None:
+            exchange = self.exchanges.get(key)
+            if exchange is not None:
+                exchange.add("net", "deliver", ts,
+                             src=str(pkt.src), dst=str(pkt.dst),
+                             size=pkt.size)
+
+    def packet_dropped(self, pkt, ts: float, reason: str = "fault") -> None:
+        if not self.enabled:
+            return
+        self.metrics.scope("net").inc(f"packets_dropped.{reason}")
+        key = self._by_tid.get(pkt.trace_id)
+        if key is not None:
+            exchange = self.exchanges.get(key)
+            if exchange is not None:
+                exchange.add("net", "drop", ts, dst=str(pkt.dst),
+                             reason=reason)
+
+    # ------------------------------------------------------------------
+    # RPC server side
+    # ------------------------------------------------------------------
+
+    def server_begin(self, component: str, trace_id: int, proc: int,
+                     ts: float) -> Optional[Span]:
+        if not self.enabled:
+            return None
+        self.metrics.scope(component).inc("requests_handled")
+        key = self._by_tid.get(trace_id)
+        if key is None:
+            return None
+        exchange = self.exchanges.get(key)
+        if exchange is None:
+            return None
+        return exchange.add(component, "handle", ts, proc=proc)
+
+    def server_end(self, span: Optional[Span], ts: float, **attrs) -> None:
+        if span is None or not self.enabled:
+            return
+        span.finish(ts, **attrs)
+        self.metrics.scope(span.component).observe("handle_s", span.duration)
+
+    # ------------------------------------------------------------------
+    # coordinator intention-log lifecycle
+    # ------------------------------------------------------------------
+
+    def intent_logged(self, op_id: int, kind: int, ts: float) -> None:
+        if not self.enabled:
+            return
+        self.intents[op_id] = (INTENT_OPEN, kind)
+        self.metrics.scope("coord").inc("intents_logged")
+
+    def intent_completed(self, op_id: int, ts: float) -> None:
+        if not self.enabled:
+            return
+        state = self.intents.get(op_id)
+        kind = state[1] if state is not None else -1
+        self.intents[op_id] = (INTENT_COMPLETED, kind)
+        self.metrics.scope("coord").inc("intents_completed")
+
+    def intent_recovered(self, op_id: int, ts: float) -> None:
+        if not self.enabled:
+            return
+        state = self.intents.get(op_id)
+        kind = state[1] if state is not None else -1
+        self.intents[op_id] = (INTENT_RECOVERED, kind)
+        self.metrics.scope("coord").inc("intents_recovered")
+
+    def open_intents(self) -> List[int]:
+        return [op_id for op_id, (state, _k) in self.intents.items()
+                if state == INTENT_OPEN]
+
+    # ------------------------------------------------------------------
+    # free-form component events
+    # ------------------------------------------------------------------
+
+    def event(self, component: str, name: str, ts: float = 0.0,
+              **attrs) -> None:
+        """Counter bump plus a bounded ring entry for debugging."""
+        if not self.enabled:
+            return
+        self.metrics.scope(component).inc(name)
+        self.component_events.append((ts, component, name, attrs))
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "exchanges": len(self.exchanges),
+            "calls": sum(e.n_calls for e in self.exchanges.values()),
+            "replies": sum(e.n_replies for e in self.exchanges.values()),
+            "splits": sum(len(e.splits) for e in self.exchanges.values()),
+            "rewrites_checked": sum(
+                len(e.rewrite_checks) for e in self.exchanges.values()
+            ),
+            "intents": len(self.intents),
+            "open_intents": len(self.open_intents()),
+            "packets_checked": self.packets_checked,
+            "checksum_failures": len(self.checksum_failures),
+            "evicted": self.evicted,
+        }

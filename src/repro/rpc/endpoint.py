@@ -95,6 +95,7 @@ class RpcClient:
         body: Data = EMPTY,
         retrans_timeout: Optional[float] = None,
         max_tries: Optional[int] = None,
+        trace_id: int = 0,
     ):
         """Generator: perform one RPC; returns (results Decoder, reply body).
 
@@ -111,7 +112,7 @@ class RpcClient:
         tries = max_tries if max_tries is not None else self.max_tries
 
         def fresh_packet() -> Packet:
-            pkt = Packet(self.address, dst, header, body)
+            pkt = Packet(self.address, dst, header, body, trace_id=trace_id)
             if self.fill_checksums:
                 pkt.fill_checksum()
             return pkt
@@ -171,6 +172,10 @@ class RpcServer:
         self.requests_handled = 0
         self.duplicates_dropped = 0
         self.duplicates_replayed = 0
+        # Optional observability hookup (see repro.obs): when a tracer is
+        # attached, handled requests are recorded as server-side spans.
+        self.tracer = None
+        self.trace_component = f"rpc:{host.name}:{port}"
         host.bind(port, self._on_packet)
 
     @property
@@ -205,32 +210,54 @@ class RpcServer:
         if cached is not None:
             self.duplicates_replayed += 1
             header, body = cached
-            self.host.send(self._reply_packet(pkt.src, header, body))
+            self.host.send(
+                self._reply_packet(pkt.src, header, body, pkt.trace_id)
+            )
             return
         service = self.services.get(call.prog)
         if service is None:
             from .messages import PROG_UNAVAIL
 
             header = ReplyHeader(call.xid, PROG_UNAVAIL).encode().to_bytes()
-            self.host.send(self._reply_packet(pkt.src, header, EMPTY))
+            self.host.send(
+                self._reply_packet(pkt.src, header, EMPTY, pkt.trace_id)
+            )
             return
         self._drc_put(key, self._IN_PROGRESS)
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.server_begin(
+                self.trace_component, pkt.trace_id, call.proc,
+                self.host.clock(),
+            )
         try:
             result = yield from service(call.proc, dec, pkt.body, pkt.src)
         except RpcAcceptError as exc:
             header = ReplyHeader(call.xid, exc.accept_stat).encode().to_bytes()
             self._drc_put(key, (header, EMPTY))
-            self.host.send(self._reply_packet(pkt.src, header, EMPTY))
+            if tracer is not None:
+                tracer.server_end(span, self.host.clock(),
+                                  accept_stat=exc.accept_stat)
+            self.host.send(
+                self._reply_packet(pkt.src, header, EMPTY, pkt.trace_id)
+            )
             return
         if result is None:
             # Service chose to drop (e.g. simulated failure window).
             self._drc.pop(key, None)
+            if tracer is not None:
+                tracer.server_end(span, self.host.clock(), dropped=True)
             return
         result_bytes, reply_body = result
         header = ReplyHeader(call.xid).encode().to_bytes() + result_bytes
         self._drc_put(key, (header, reply_body))
         self.requests_handled += 1
-        self.host.send(self._reply_packet(pkt.src, header, reply_body))
+        if tracer is not None:
+            tracer.server_end(span, self.host.clock())
+        self.host.send(
+            self._reply_packet(pkt.src, header, reply_body, pkt.trace_id)
+        )
 
     def _drc_put(self, key, value) -> None:
         self._drc[key] = value
@@ -238,8 +265,9 @@ class RpcServer:
         while len(self._drc) > self.DRC_CAPACITY:
             self._drc.popitem(last=False)
 
-    def _reply_packet(self, dst: Address, header: bytes, body: Data) -> Packet:
-        pkt = Packet(self.address, dst, header, body)
+    def _reply_packet(self, dst: Address, header: bytes, body: Data,
+                      trace_id: int = 0) -> Packet:
+        pkt = Packet(self.address, dst, header, body, trace_id=trace_id)
         if self.fill_checksums:
             pkt.fill_checksum()
         return pkt

@@ -138,6 +138,7 @@ class SmallFileServer:
         num_logical_sites: int,
         params: Optional[SmallFileParams] = None,
         port: int = SF_PORT,
+        tracer=None,
     ):
         self.sim = sim
         self.host = host
@@ -145,7 +146,10 @@ class SmallFileServer:
         self.storage_nodes = list(storage_nodes)
         self.num_logical_sites = num_logical_sites
         self.params = params or SmallFileParams()
+        self.tracer = tracer
         self.server = RpcServer(host, port, fill_checksums=self.params.fill_checksums)
+        self.server.tracer = tracer
+        self.server.trace_component = f"sf:{host.name}"
         self.server.register(proto.NFS_PROGRAM, self._nfs_service)
         self.server.register(ctrlproto.SLICE_CTRL_PROGRAM, self._ctrl_service)
         self.client = RpcClient(

@@ -59,6 +59,7 @@ class Coordinator:
         params: Optional[CoordinatorParams] = None,
         log_write_cost=None,
         port: int = COORD_PORT,
+        tracer=None,
     ):
         """``data_sites``: every address holding file data (storage nodes
         first, then small-file servers) — the reclaim fan-out set.
@@ -69,10 +70,13 @@ class Coordinator:
         self.params = params or CoordinatorParams()
         self.data_sites = list(data_sites)
         self.num_storage_sites = num_storage_sites
+        self.tracer = tracer
         self.log = WriteAheadLog(sim, write_cost=log_write_cost)
         self.server = RpcServer(
             host, port, fill_checksums=self.params.fill_checksums
         )
+        self.server.tracer = tracer
+        self.server.trace_component = f"coord:{host.name}"
         self.server.register(cp.SLICE_COORD_PROGRAM, self._service)
         self.client = RpcClient(
             host, port + 1, fill_checksums=self.params.fill_checksums
@@ -105,6 +109,9 @@ class Coordinator:
             intent = cp.decode_intent_args(dec)
             self.pending[intent.op_id] = intent
             self.intents_logged += 1
+            if self.tracer is not None:
+                self.tracer.intent_logged(intent.op_id, intent.kind,
+                                          self.sim.now)
             yield from self.log.append_sync(
                 {"type": "intent", **intent._asdict(), "at": self.sim.now}
             )
@@ -114,6 +121,8 @@ class Coordinator:
             self.pending.pop(op_id, None)
             # Completions clear intentions asynchronously (no sync stall).
             self.log.append({"type": "complete", "op_id": op_id})
+            if self.tracer is not None:
+                self.tracer.intent_completed(op_id, self.sim.now)
             return ctrlproto.encode_status_res(0), EMPTY
         if proc == cp.COORD_GET_MAP:
             args = cp.decode_get_map_args(dec)
@@ -134,12 +143,17 @@ class Coordinator:
             )
             self.pending[intent.op_id] = intent
             self.intents_logged += 1
+            if self.tracer is not None:
+                self.tracer.intent_logged(intent.op_id, intent.kind,
+                                          self.sim.now)
             yield from self.log.append_sync(
                 {"type": "intent", **intent._asdict(), "at": self.sim.now}
             )
             yield from self._execute_reclaim(intent)
             self.pending.pop(intent.op_id, None)
             self.log.append({"type": "complete", "op_id": intent.op_id})
+            if self.tracer is not None:
+                self.tracer.intent_completed(intent.op_id, self.sim.now)
             if args.remove:
                 self.block_maps.pop(_file_key(args.fh), None)
             return ctrlproto.encode_status_res(0), EMPTY
@@ -205,6 +219,8 @@ class Coordinator:
     def _recover_intent(self, intent: cp.Intent):
         """Finish or repair an overdue/orphaned multi-site operation."""
         self.recoveries += 1
+        if self.tracer is not None:
+            self.tracer.intent_recovered(intent.op_id, self.sim.now)
         if intent.kind in (cp.K_REMOVE, cp.K_TRUNCATE):
             yield from self._execute_reclaim(intent)
         elif intent.kind == cp.K_COMMIT:

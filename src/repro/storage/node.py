@@ -81,10 +81,12 @@ class StorageNode:
         host: Host,
         params: Optional[StorageNodeParams] = None,
         port: int = STORE_PORT,
+        tracer=None,
     ):
         self.sim = sim
         self.host = host
         self.params = params or StorageNodeParams()
+        self.tracer = tracer
         self.array = DiskArray(
             sim,
             num_disks=self.params.num_disks,
@@ -96,6 +98,8 @@ class StorageNode:
         self.server = RpcServer(
             host, port, fill_checksums=self.params.fill_checksums
         )
+        self.server.tracer = tracer
+        self.server.trace_component = f"storage:{host.name}"
         self.server.register(proto.NFS_PROGRAM, self._nfs_service)
         self.server.register(ctrlproto.SLICE_CTRL_PROGRAM, self._ctrl_service)
         self._boot_count = 0

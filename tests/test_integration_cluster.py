@@ -16,6 +16,10 @@ from repro.nfs.fhandle import FHandle
 from repro.nfs.types import Sattr3
 from repro.util.bytesim import PatternData, RealData
 
+# Every cluster built in this module gets a tracer attached; the protocol
+# invariants are replay-checked at teardown (see tests/conftest.py).
+pytestmark = pytest.mark.usefixtures("trace_invariants")
+
 
 def small_cluster(**overrides):
     defaults = dict(

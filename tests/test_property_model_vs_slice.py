@@ -20,6 +20,13 @@ from repro.ensemble.params import ClusterParams
 from repro.nfs.types import NF3DIR, Sattr3
 from repro.util.bytesim import PatternData
 
+# Clusters created by apply_ops get tracers attached; invariants are
+# replay-checked at teardown (see tests/conftest.py).  The fixture is
+# function-scoped while hypothesis reuses it across examples — that is
+# intentional (clusters accumulate and all are checked), so the
+# corresponding health check is suppressed below.
+pytestmark = pytest.mark.usefixtures("trace_invariants")
+
 NAMES = [f"n{i}" for i in range(8)]
 
 op_strategy = st.one_of(
@@ -186,7 +193,11 @@ def apply_ops(ops, mode):
 @settings(
     max_examples=20,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.function_scoped_fixture,
+    ],
 )
 @given(st.lists(op_strategy, min_size=1, max_size=15))
 def test_slice_matches_model_mkdir_switching(ops):
@@ -197,7 +208,11 @@ def test_slice_matches_model_mkdir_switching(ops):
 @settings(
     max_examples=20,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.function_scoped_fixture,
+    ],
 )
 @given(st.lists(op_strategy, min_size=1, max_size=15))
 def test_slice_matches_model_name_hashing(ops):

@@ -30,8 +30,39 @@ def test_latency_recorder_stats():
         rec.record(value)
     assert rec.mean() == pytest.approx(22.0)
     assert rec.percentile(0.5) == 3.0
-    assert rec.percentile(0.99) == 100.0
+    # Interpolated: rank 0.99 * 4 = 3.96 -> 4 + 0.96 * (100 - 4).
+    assert rec.percentile(0.99) == pytest.approx(96.16)
     assert rec.max() == 100.0
+
+
+def test_latency_recorder_percentile_interpolates():
+    rec = LatencyRecorder()
+    for value in [10.0, 20.0, 30.0, 40.0]:
+        rec.record(value)
+    # rank = 0.5 * 3 = 1.5: halfway between the 2nd and 3rd samples.
+    assert rec.percentile(0.5) == pytest.approx(25.0)
+    assert rec.percentile(0.25) == pytest.approx(17.5)
+
+
+def test_latency_recorder_percentile_edge_cases():
+    empty = LatencyRecorder()
+    assert empty.percentile(0.5) == 0.0
+    assert empty.mean() == 0.0
+    assert empty.max() == 0.0
+
+    single = LatencyRecorder()
+    single.record(7.0)
+    for p in (0.0, 0.5, 0.99, 1.0):
+        assert single.percentile(p) == 7.0
+
+    rec = LatencyRecorder()
+    for value in [5.0, 1.0, 3.0]:
+        rec.record(value)
+    assert rec.percentile(0.0) == 1.0  # minimum
+    assert rec.percentile(1.0) == 5.0  # maximum
+    # Out-of-range p clamps rather than raising.
+    assert rec.percentile(-0.5) == 1.0
+    assert rec.percentile(2.0) == 5.0
 
 
 def test_throughput_window():

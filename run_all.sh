@@ -4,18 +4,28 @@
 #   --with-traces   attach a repro.obs tracer to every cluster
 #                   (REPRO_TRACE=1): tests replay protocol invariants and
 #                   the benchmark session dumps per-tracer metrics tables.
+#   --with-chaos    additionally run the seeded chaos suite (pytest -m
+#                   chaos): whole-cluster fault schedules with trace
+#                   invariants and determinism digests (see docs/FAULTS.md).
+WITH_CHAOS=0
 for arg in "$@"; do
     case "$arg" in
         --with-traces)
             REPRO_TRACE=1
             export REPRO_TRACE
             ;;
+        --with-chaos)
+            WITH_CHAOS=1
+            ;;
         *)
-            echo "usage: $0 [--with-traces]" >&2
+            echo "usage: $0 [--with-traces] [--with-chaos]" >&2
             exit 2
             ;;
     esac
 done
 set -x
 pytest tests/ 2>&1 | tee test_output.txt
+if [ "$WITH_CHAOS" = "1" ]; then
+    pytest tests/ -m chaos 2>&1 | tee chaos_output.txt
+fi
 pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt

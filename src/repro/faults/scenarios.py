@@ -1,0 +1,330 @@
+"""Chaos-tolerant workload scenarios for :class:`~repro.faults.harness.
+ChaosHarness`.
+
+A scenario is two generators::
+
+    drive(harness)   # issue the workload while faults are firing
+    verify(harness)  # after quiesce + settle: prove the end state
+
+Scenarios must be *chaos-tolerant*: when a server crashes between executing
+a non-idempotent operation and its reply reaching the client, the client
+retransmits into a fresh boot epoch whose duplicate-request cache is empty,
+so the retry re-executes and may answer ``NFS3ERR_EXIST`` (create/mkdir) or
+``NFS3ERR_NOENT`` (remove).  Those answers mean "your first try worked" —
+the helpers here absorb them and recover the file handle by lookup, exactly
+as a real NFS client's ``EEXIST``-after-retransmit heuristic does.
+
+Each scenario keeps its own expected-namespace model as it drives, then
+verifies the cluster's end state against it with plain reads — so the model
+comparison covers the surviving effects of every operation, not just the
+happy path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.nfs.errors import (
+    NFS3ERR_EXIST,
+    NFS3ERR_NOENT,
+    NFS3_OK,
+    NfsError,
+)
+from repro.nfs.types import Sattr3
+from repro.util.bytesim import PatternData
+from repro.workloads.untar import UntarSpec, build_tree_plan
+
+__all__ = [
+    "UntarChaosScenario",
+    "BulkIOChaosScenario",
+    "MixedOpsChaosScenario",
+]
+
+
+# -- chaos-tolerant primitives ---------------------------------------------
+
+
+def ensure_dir(client, parent_fh: bytes, name: str):
+    """Generator: mkdir that treats EXIST-after-retransmit as success."""
+    res = yield from client.mkdir(parent_fh, name)
+    if res.status == NFS3_OK:
+        return res.fh
+    if res.status == NFS3ERR_EXIST:
+        looked = yield from client.lookup(parent_fh, name)
+        if looked.status == NFS3_OK:
+            return looked.fh
+        raise NfsError(looked.status, f"lookup after EXIST mkdir {name}")
+    raise NfsError(res.status, f"mkdir {name}")
+
+
+def ensure_file(client, parent_fh: bytes, name: str):
+    """Generator: guarded create that absorbs EXIST-after-retransmit."""
+    res = yield from client.create(parent_fh, name)
+    if res.status == NFS3_OK:
+        return res.fh
+    if res.status == NFS3ERR_EXIST:
+        looked = yield from client.lookup(parent_fh, name)
+        if looked.status == NFS3_OK:
+            return looked.fh
+        raise NfsError(looked.status, f"lookup after EXIST create {name}")
+    raise NfsError(res.status, f"create {name}")
+
+
+def ensure_removed(client, parent_fh: bytes, name: str):
+    """Generator: remove that treats NOENT-after-retransmit as success."""
+    res = yield from client.remove(parent_fh, name)
+    if res.status not in (NFS3_OK, NFS3ERR_NOENT):
+        raise NfsError(res.status, f"remove {name}")
+
+
+def _readdir_names(client, dir_fh: bytes):
+    """Generator: the set of entry names in a directory (minus . and ..)."""
+    status, listing = yield from client.readdir(dir_fh)
+    if status != NFS3_OK:
+        raise NfsError(status, "readdir during verification")
+    return {e.name for e in listing if e.name not in (".", "..")}
+
+
+# -- scenario 1: name-intensive untar ---------------------------------------
+
+
+class UntarChaosScenario:
+    """The paper's untar benchmark, hardened for mid-run server reboots.
+
+    Replays the same deterministic FreeBSD-src-style tree plan as
+    :class:`~repro.workloads.untar.UntarWorkload` (same seed, same plan)
+    with the seven-op create sequence, but every non-idempotent step is
+    retransmit-tolerant.  Verification walks every directory it created and
+    compares the full listing against the plan.
+    """
+
+    name = "untar"
+
+    def __init__(self, total_entries: int = 150, seed: int = 0,
+                 prefix: str = "chaos", client_index: int = 0):
+        self.spec = UntarSpec(total_entries=total_entries)
+        self.plan = build_tree_plan(self.spec, seed)
+        self.prefix = prefix
+        self.client_index = client_index
+        # plan-index (-1 = subtree root) -> fh, and -> expected child names.
+        self._dir_fhs: Dict[int, bytes] = {}
+        self._expected: Dict[int, Set[str]] = {-1: set()}
+        self.entries_created = 0
+
+    def drive(self, harness):
+        client = harness.client(self.client_index)
+        root_fh = yield from ensure_dir(
+            client, harness.cluster.root_fh, self.prefix
+        )
+        self._dir_fhs[-1] = root_fh
+        for index, (kind, parent_index, name) in enumerate(self.plan):
+            parent_fh = self._dir_fhs[parent_index]
+            if kind == "mkdir":
+                yield from client.lookup(parent_fh, name)  # miss expected
+                yield from client.access(parent_fh)
+                fh = yield from ensure_dir(client, parent_fh, name)
+                yield from client.setattr(fh, Sattr3(mode=0o755))
+                self._dir_fhs[index] = fh
+                self._expected[index] = set()
+            else:
+                yield from client.lookup(parent_fh, name)
+                yield from client.access(parent_fh)
+                fh = yield from ensure_file(client, parent_fh, name)
+                yield from client.getattr(fh)
+                yield from client.lookup(parent_fh, name)  # hit
+                yield from client.setattr(fh, Sattr3(mode=0o644))
+                yield from client.setattr(fh, Sattr3(atime=1.0, mtime=1.0))
+            self._expected[parent_index].add(name)
+            self.entries_created += 1
+        return self.entries_created
+
+    def verify(self, harness):
+        client = harness.client(self.client_index)
+        # The subtree root must resolve from the cluster root by name.
+        res = yield from client.lookup(harness.cluster.root_fh, self.prefix)
+        assert res.status == NFS3_OK, f"untar root vanished: {res.status}"
+        checked = 0
+        for index, expected in sorted(self._expected.items()):
+            names = yield from _readdir_names(client, self._dir_fhs[index])
+            assert names == expected, (
+                f"dir #{index}: expected {sorted(expected)}, "
+                f"found {sorted(names)}"
+            )
+            checked += 1
+        return checked
+
+
+# -- scenario 2: bulk I/O integrity -----------------------------------------
+
+
+class BulkIOChaosScenario:
+    """Write large patterned files through the block path; read them back.
+
+    Exercises the striped read/write splitting, write-behind + commit with
+    verifier redrive, and the storage nodes' crash-verifier machinery.
+    Verification re-reads every byte after the cluster settles.
+    """
+
+    name = "bulkio"
+
+    def __init__(self, sizes: Optional[List[int]] = None, seed: int = 0,
+                 client_index: int = 0):
+        self.sizes = list(sizes) if sizes else [256 << 10, 384 << 10]
+        self.seed = seed
+        self.client_index = client_index
+        self._files: List[Tuple[bytes, PatternData]] = []
+
+    def drive(self, harness):
+        client = harness.client(self.client_index)
+        root = harness.cluster.root_fh
+        for i, size in enumerate(self.sizes):
+            payload = PatternData(size, seed=self.seed * 1000 + i)
+            fh = yield from ensure_file(client, root, f"bulk{i}.bin")
+            yield from client.write_file(fh, payload)
+            self._files.append((fh, payload))
+            # Immediate read-back catches corruption while faults still fire.
+            data = yield from client.read_file(fh, size)
+            assert data == payload, f"mid-run corruption in bulk{i}.bin"
+        return len(self._files)
+
+    def verify(self, harness):
+        client = harness.client(self.client_index)
+        for i, (fh, payload) in enumerate(self._files):
+            data = yield from client.read_file(fh, payload.length)
+            assert data == payload, f"post-settle corruption in bulk{i}.bin"
+        return len(self._files)
+
+
+# -- scenario 3: SPECsfs-style operation mix ---------------------------------
+
+
+class MixedOpsChaosScenario:
+    """A seeded random mix of namespace + data operations (SPECsfs flavor).
+
+    Creates, writes, overwrites, removes, and re-reads small files across a
+    growing directory tree, maintaining its own expected-namespace model as
+    it goes; every mutation is retransmit-tolerant.  Verification walks the
+    final tree: directory listings and every surviving file's content must
+    match the model exactly.
+    """
+
+    name = "mixed"
+
+    def __init__(self, ops: int = 120, seed: int = 0,
+                 max_file_bytes: int = 16 << 10, client_index: int = 0):
+        self.ops = ops
+        self.seed = seed
+        self.max_file_bytes = max_file_bytes
+        self.client_index = client_index
+        # Model state, keyed by directory id (0 = scenario root).
+        self._dir_fhs: Dict[int, bytes] = {}
+        self._children: Dict[int, Set[str]] = {0: set()}
+        # (dir_id, name) -> (fh, PatternData | None for empty files)
+        self._file_state: Dict[
+            Tuple[int, str], Tuple[bytes, Optional[PatternData]]
+        ] = {}
+        self.ops_executed = 0
+
+    def drive(self, harness):
+        client = harness.client(self.client_index)
+        rng = random.Random(self.seed * 7919 + 11)  # scenario-private stream
+        root_fh = yield from ensure_dir(
+            client, harness.cluster.root_fh, "mix"
+        )
+        self._dir_fhs[0] = root_fh
+        next_dir = 1
+        next_file = 0
+        for _ in range(self.ops):
+            dir_id = rng.choice(sorted(self._dir_fhs))
+            dir_fh = self._dir_fhs[dir_id]
+            roll = rng.random()
+            if roll < 0.12 and len(self._dir_fhs) < 12:
+                name = f"d{next_dir}"
+                fh = yield from ensure_dir(client, dir_fh, name)
+                self._dir_fhs[next_dir] = fh
+                self._children[next_dir] = set()
+                self._children[dir_id].add(name)
+                next_dir += 1
+            elif roll < 0.45:
+                name = f"f{next_file}"
+                next_file += 1
+                fh = yield from ensure_file(client, dir_fh, name)
+                self._children[dir_id].add(name)
+                self._file_state[(dir_id, name)] = (fh, None)
+                if rng.random() < 0.8:
+                    payload = PatternData(
+                        rng.randrange(512, self.max_file_bytes),
+                        seed=rng.randrange(1 << 30),
+                    )
+                    yield from client.write_file(fh, payload)
+                    self._file_state[(dir_id, name)] = (fh, payload)
+            elif roll < 0.65:
+                target = self._pick_file(rng, dir_id)
+                if target is not None:
+                    fh, _old = self._file_state[target]
+                    payload = PatternData(
+                        rng.randrange(512, self.max_file_bytes),
+                        seed=rng.randrange(1 << 30),
+                    )
+                    yield from client.write_file(fh, payload)
+                    self._file_state[target] = (fh, payload)
+            elif roll < 0.80:
+                target = self._pick_file(rng, dir_id)
+                if target is not None:
+                    fh, payload = self._file_state[target]
+                    if payload is not None:
+                        data = yield from client.read_file(
+                            fh, payload.length
+                        )
+                        assert data == payload, f"mid-run mismatch {target}"
+                    else:
+                        yield from client.getattr(fh)
+            elif roll < 0.92:
+                target = self._pick_file(rng, dir_id)
+                if target is not None:
+                    t_dir, name = target
+                    yield from ensure_removed(
+                        client, self._dir_fhs[t_dir], name
+                    )
+                    self._children[t_dir].discard(name)
+                    del self._file_state[target]
+            else:
+                target = self._pick_file(rng, dir_id)
+                if target is not None:
+                    fh, _payload = self._file_state[target]
+                    yield from client.setattr(fh, Sattr3(mode=0o600))
+            self.ops_executed += 1
+        return self.ops_executed
+
+    def _pick_file(self, rng: random.Random,
+                   dir_id: int) -> Optional[Tuple[int, str]]:
+        """A file in ``dir_id`` if any, else any file, else None."""
+        local = sorted(
+            key for key in self._file_state if key[0] == dir_id
+        )
+        pool = local or sorted(self._file_state)
+        return rng.choice(pool) if pool else None
+
+    def verify(self, harness):
+        client = harness.client(self.client_index)
+        for dir_id in sorted(self._dir_fhs):
+            names = yield from _readdir_names(
+                client, self._dir_fhs[dir_id]
+            )
+            expected = self._children[dir_id]
+            assert names == expected, (
+                f"mix dir {dir_id}: expected {sorted(expected)}, "
+                f"found {sorted(names)}"
+            )
+        verified = 0
+        for key in sorted(self._file_state):
+            fh, payload = self._file_state[key]
+            if payload is None:
+                res = yield from client.getattr(fh)
+                assert res.status == NFS3_OK, f"empty file {key} vanished"
+            else:
+                data = yield from client.read_file(fh, payload.length)
+                assert data == payload, f"content mismatch for {key}"
+            verified += 1
+        return verified

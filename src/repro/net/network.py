@@ -41,11 +41,48 @@ class Network:
         self.tracer = tracer
         self.hosts: Dict[str, Host] = {}
         self._output_ports: Dict[str, Resource] = {}
-        # Optional fault hook: return True to drop the packet silently.
-        self.drop_fn: Optional[Callable[[Packet], bool]] = None
+        # Structured fault hook (see repro.faults): consulted per transmit.
+        # The legacy ``drop_fn`` callable is a view onto it (property below).
+        self.fault_injector = None
         self.packets_delivered = 0
-        self.packets_dropped = 0
+        self.packets_dropped_fault = 0
+        self.packets_dropped_noroute = 0
+        self.packets_duplicated = 0
+        self.packets_delayed = 0
         self.bytes_delivered = 0
+
+    # -- fault hooks -------------------------------------------------------
+
+    @property
+    def packets_dropped(self) -> int:
+        """Total drops (legacy aggregate of fault + no-route)."""
+        return self.packets_dropped_fault + self.packets_dropped_noroute
+
+    @property
+    def drop_fn(self) -> Optional[Callable[[Packet], bool]]:
+        """Legacy fault hook: a callable returning True to drop a packet.
+
+        Kept for back-compatibility with hand-rolled fault tests; stored
+        on the structured :class:`~repro.faults.injector.FaultInjector`.
+        """
+        injector = self.fault_injector
+        return injector.legacy_drop_fn if injector is not None else None
+
+    @drop_fn.setter
+    def drop_fn(self, fn: Optional[Callable[[Packet], bool]]) -> None:
+        if fn is None:
+            injector = self.fault_injector
+            if injector is not None:
+                injector.legacy_drop_fn = None
+                if injector.is_pure_legacy:
+                    self.fault_injector = None
+            return
+        if self.fault_injector is None:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(legacy_drop_fn=fn)
+        else:
+            self.fault_injector.legacy_drop_fn = fn
 
     # -- topology --------------------------------------------------------
 
@@ -89,25 +126,50 @@ class Network:
 
     def transmit(self, src_host: Host, packet: Packet) -> None:
         """Launch the store-and-forward journey of one packet."""
-        if self.drop_fn is not None and self.drop_fn(packet):
-            self.packets_dropped += 1
-            if self.tracer is not None:
-                self.tracer.packet_dropped(packet, self.sim.now, "fault")
-            return
+        delays = None
+        injector = self.fault_injector
+        if injector is not None:
+            decision = injector.on_transmit(packet, self.sim.now)
+            if decision.drop:
+                self.packets_dropped_fault += 1
+                if self.tracer is not None:
+                    self.tracer.packet_dropped(
+                        packet, self.sim.now, decision.reason
+                    )
+                return
+            delays = decision.delays
         dst_host = self.hosts.get(packet.dst.host)
         if dst_host is None:
-            self.packets_dropped += 1
+            self.packets_dropped_noroute += 1
             if self.tracer is not None:
                 self.tracer.packet_dropped(packet, self.sim.now, "no-route")
             return
-        self.sim.process(
-            self._journey(src_host, dst_host, packet),
-            name=f"pkt:{packet.src}->{packet.dst}",
-        )
+        if delays is None:
+            self.sim.process(
+                self._journey(src_host, dst_host, packet),
+                name=f"pkt:{packet.src}->{packet.dst}",
+            )
+            return
+        # Fault-mangled path: one journey per surviving copy.  Copies after
+        # the first are clones so an in-place µproxy rewrite on one arrival
+        # cannot corrupt the other.
+        self.packets_duplicated += len(delays) - 1
+        for i, delay in enumerate(delays):
+            copy = packet if i == 0 else packet.clone()
+            if delay > 0:
+                self.packets_delayed += 1
+            self.sim.process(
+                self._journey(src_host, dst_host, copy, launch_delay=delay),
+                name=f"pkt:{packet.src}->{packet.dst}",
+            )
 
-    def _journey(self, src_host: Host, dst_host: Host, packet: Packet):
+    def _journey(self, src_host: Host, dst_host: Host, packet: Packet,
+                 launch_delay: float = 0.0):
         params = self.params
         size = packet.size
+        if launch_delay > 0:
+            # Fault-injected extra latency (reorder / duplicate spacing).
+            yield self.sim.timeout(launch_delay)
         # 1. Serialize out of the sender's NIC.
         yield from src_host.nic_tx.use(self.wire_time(size, self._link_bw(src_host)))
         yield self.sim.timeout(params.propagation + params.fabric_latency)

@@ -54,6 +54,18 @@ class Packet:
         """Datagram size on the wire (headers + payload + UDP/IP overhead)."""
         return UDP_IP_OVERHEAD + len(self.header) + self.body.length
 
+    def clone(self) -> "Packet":
+        """An independent copy (fault-injected duplicate delivery).
+
+        Header bytes and the lazy body are immutable values, so a shallow
+        copy suffices; what matters is that in-place rewrites (µproxy NAT)
+        on one copy cannot leak into the other.
+        """
+        return Packet(
+            self.src, self.dst, self.header, self.body,
+            cksum=self.cksum, trace_id=self.trace_id,
+        )
+
     # -- checksum ------------------------------------------------------------
 
     def _pseudo_header(self) -> bytes:

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 from repro.net import Address, Host
 from repro.rpc import Credential, RpcClient
 from repro.util.bytesim import Data, concat
+from repro.util.hashing import md5_u64
 from . import proto
 from .errors import NfsError
 from .fhandle import FHandle
@@ -65,7 +66,11 @@ class NfsClient:
             retrans_timeout=self.params.retrans_timeout,
             max_tries=self.params.max_tries,
             fill_checksums=self.params.fill_checksums,
-            xid_seed=hash((host.name, port)) & 0xFFFF,
+            # A *stable* per-endpoint seed: the builtin hash() of a string
+            # varies with PYTHONHASHSEED, which would make xid streams (and
+            # with them retransmit jitter and every chaos-run digest) differ
+            # between interpreter invocations.
+            xid_seed=md5_u64(f"{host.name}:{port}".encode()) & 0xFFFF,
         )
         self.ops_sent = 0
         self.bytes_read = 0

@@ -28,6 +28,17 @@ that make interposed request routing trustworthy:
 ``intent-closed``
     Every intention logged at a coordinator was completed or recovered.
 
+``wal-prefix``
+    Every write-ahead-log crash preserved a *prefix-consistent* image:
+    all records acknowledged stable survived, and any torn-tail survivors
+    extend that prefix without exceeding what was ever appended
+    (``stable_before <= survivors <= appended``).
+
+``at-most-once``
+    No RPC server executed the same (client, xid) request twice within a
+    single boot epoch — the duplicate-request cache must absorb packet
+    duplication and retransmission replays of non-idempotent operations.
+
 Any integration test or benchmark becomes a whole-system correctness check
 by attaching a tracer and calling :meth:`TraceChecker.check` at the end.
 """
@@ -164,6 +175,34 @@ class TraceChecker:
             for failure in self.tracer.checksum_failures
         ]
 
+    def _check_wal_prefix(self) -> List[Violation]:
+        out = []
+        for (name, stable, survivors, appended, ts) in self.tracer.wal_crashes:
+            subject = f"wal {name or '<unnamed>'} @ {ts:.6f}"
+            if survivors < stable:
+                out.append(Violation(
+                    "wal-prefix", subject,
+                    f"crash lost acknowledged records: {stable} were stable "
+                    f"but only {survivors} survived",
+                ))
+            if survivors > appended:
+                out.append(Violation(
+                    "wal-prefix", subject,
+                    f"crash fabricated records: {survivors} survived but "
+                    f"only {appended} were ever appended",
+                ))
+        return out
+
+    def _check_at_most_once(self) -> List[Violation]:
+        return [
+            Violation(
+                "at-most-once", component,
+                f"request {key} executed twice within one boot epoch "
+                f"(at {ts:.6f}) — the DRC failed to absorb a duplicate",
+            )
+            for component, key, ts in self.tracer.duplicate_executions
+        ]
+
     def _check_intents(self, allow_open_intents: bool) -> List[Violation]:
         if allow_open_intents:
             return []
@@ -187,6 +226,8 @@ class TraceChecker:
             out.extend(self._check_rewrites(exchange))
         out.extend(self._check_packet_checksums())
         out.extend(self._check_intents(allow_open_intents))
+        out.extend(self._check_wal_prefix())
+        out.extend(self._check_at_most_once())
         return out
 
     def check(self, require_replies: bool = True,

@@ -207,6 +207,16 @@ class Tracer:
         # Packets whose full-recompute checksum failed at delivery.
         self.checksum_failures: List[str] = []
         self.packets_checked = 0
+        # WAL crash ledger: (log_name, stable_before, survivors, appended,
+        # ts) per crash — the wal-prefix invariant's input.
+        self.wal_crashes: List[Tuple[str, int, int, int, float]] = []
+        # (component, key, ts) whenever an RPC server executed the same
+        # (client, xid) twice within one boot epoch — the at-most-once
+        # invariant's input (should always stay empty).
+        self.duplicate_executions: List[Tuple[str, Tuple, float]] = []
+        # Injected faults, in order: (ts, name, attrs) — part of the run's
+        # deterministic digest, so two runs agree on the adversary too.
+        self.faults_injected: List[Tuple[float, str, Tuple]] = []
         # Small ring of free-form component events (debugging aid).
         self.component_events = deque(maxlen=keep_component_events)
         _ACTIVE.append(weakref.ref(self))
@@ -437,6 +447,41 @@ class Tracer:
                 if state == INTENT_OPEN]
 
     # ------------------------------------------------------------------
+    # fault injection & durability (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def fault_injected(self, name: str, ts: float, **attrs) -> None:
+        """A chaos-engine fault fired (drop/dup/reorder/crash/...)."""
+        if not self.enabled:
+            return
+        self.metrics.scope("faults").inc(name)
+        self.faults_injected.append(
+            (ts, name, tuple(sorted(attrs.items())))
+        )
+
+    def wal_crash(self, log_name: str, stable_before: int, survivors: int,
+                  appended: int, ts: float) -> None:
+        """A write-ahead log crashed: record the stable/survivor/appended
+        counts so the checker can assert prefix consistency."""
+        if not self.enabled:
+            return
+        self.wal_crashes.append(
+            (log_name, stable_before, survivors, appended, ts)
+        )
+        self.metrics.scope("wal").inc("crashes")
+        if survivors > stable_before:
+            self.metrics.scope("wal").inc("torn_tail_records",
+                                          survivors - stable_before)
+
+    def duplicate_execution(self, component: str, key, ts: float) -> None:
+        """An RPC server ran the same (client, xid) twice in one boot epoch
+        — a violation of at-most-once execution the checker will flag."""
+        if not self.enabled:
+            return
+        self.duplicate_executions.append((component, key, ts))
+        self.metrics.scope(component).inc("duplicate_executions")
+
+    # ------------------------------------------------------------------
     # free-form component events
     # ------------------------------------------------------------------
 
@@ -451,6 +496,44 @@ class Tracer:
     # ------------------------------------------------------------------
     # summaries
     # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """Deterministic hex digest of everything this tracer observed.
+
+        Two runs of the same workload under the same
+        :class:`~repro.faults.plan.FaultPlan` seed must produce identical
+        digests — the chaos suite's determinism oracle.  The digest covers
+        the complete span record (components, names, timestamps,
+        attributes), every injected fault, the intent lifecycle, and the
+        WAL crash ledger.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+
+        def feed(*parts) -> None:
+            for part in parts:
+                h.update(repr(part).encode())
+                h.update(b"\x1f")
+
+        for key, exchange in self.exchanges.items():
+            feed("exchange", str(key), exchange.trace_id, exchange.proc,
+                 exchange.n_calls, exchange.n_replies)
+            for span in exchange.spans:
+                feed(span.component, span.name, span.ts, span.end_ts,
+                     sorted(span.attrs.items(), key=lambda kv: kv[0]))
+            feed(exchange.splits)
+            feed(exchange.rewrite_checks)
+        for op_id, (state, kind) in self.intents.items():
+            feed("intent", op_id, state, kind)
+        for entry in self.wal_crashes:
+            feed("wal", entry)
+        for entry in self.faults_injected:
+            feed("fault", entry)
+        for entry in self.duplicate_executions:
+            feed("dupexec", entry[0], str(entry[1]), entry[2])
+        feed("cksum", self.packets_checked, len(self.checksum_failures))
+        return h.hexdigest()
 
     def summary(self) -> Dict[str, int]:
         return {

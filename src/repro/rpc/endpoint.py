@@ -10,6 +10,7 @@ reason a µproxy can discard its soft state without breaking correctness
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -48,17 +49,31 @@ class RpcClient:
         cred: Optional[Credential] = None,
         retrans_timeout: float = 0.7,
         backoff: float = 2.0,
+        max_retrans_timeout: float = 8.0,
+        jitter: float = 0.1,
         max_tries: int = 8,
         fill_checksums: bool = True,
         xid_seed: int = 0,
     ):
+        """``max_retrans_timeout`` caps the exponential backoff so a
+        flapping server cannot stretch retry intervals (and simulated
+        time) without bound; ``jitter`` lengthens each wait by up to that
+        fraction, drawn from this endpoint's own seeded RNG, so a fleet of
+        clients does not retransmit in lockstep after a shared outage."""
         self.host = host
         self.port = port
         self.cred = cred
         self.retrans_timeout = retrans_timeout
         self.backoff = backoff
+        self.max_retrans_timeout = max_retrans_timeout
+        self.jitter = jitter
         self.max_tries = max_tries
         self.fill_checksums = fill_checksums
+        # Deterministic per-endpoint stream: jitter must not perturb (or be
+        # perturbed by) any other randomness in the run.
+        self._rng = random.Random(
+            (xid_seed * 0x9E3779B1 + port * 31 + 7) & 0xFFFFFFFF
+        )
         self._next_xid = (xid_seed * 2654435761 + 1) & 0xFFFFFFFF
         self._pending: Dict[int, Tuple[Address, object]] = {}
         self.retransmissions = 0
@@ -128,10 +143,14 @@ class RpcClient:
                 if attempt:
                     self.retransmissions += 1
                 self.host.send(fresh_packet())
-                yield sim.any_of([reply_event, sim.timeout(timeout)])
+                wait = min(timeout, self.max_retrans_timeout)
+                if self.jitter:
+                    wait *= 1.0 + self.jitter * self._rng.random()
+                yield sim.any_of([reply_event, sim.timeout(wait)])
                 if reply_event.triggered:
                     break
-                timeout *= self.backoff
+                timeout = min(timeout * self.backoff,
+                              self.max_retrans_timeout)
             else:
                 raise RpcTimeout(
                     f"xid={xid} to {dst} after {tries} tries"
@@ -169,6 +188,11 @@ class RpcServer:
         self.fill_checksums = fill_checksums
         self.services: Dict[int, object] = {}
         self._drc: OrderedDict = OrderedDict()
+        # (src, xid) keys whose service actually executed this boot epoch.
+        # Only maintained while a tracer is attached: feeds the checker's
+        # ``at-most-once`` invariant (a key must never execute twice within
+        # one epoch — the DRC exists to prevent exactly that).
+        self._executed: OrderedDict = OrderedDict()
         self.requests_handled = 0
         self.duplicates_dropped = 0
         self.duplicates_replayed = 0
@@ -186,8 +210,9 @@ class RpcServer:
         self.services[prog] = service
 
     def clear_duplicate_cache(self) -> None:
-        """Forget all cached replies (server reboot)."""
+        """Forget all cached replies (server reboot = new boot epoch)."""
         self._drc.clear()
+        self._executed.clear()
 
     def _on_packet(self, pkt: Packet) -> None:
         if not pkt.checksum_ok():
@@ -227,6 +252,14 @@ class RpcServer:
         tracer = self.tracer
         span = None
         if tracer is not None:
+            if key in self._executed:
+                tracer.duplicate_execution(
+                    self.trace_component, key, self.host.clock()
+                )
+            else:
+                self._executed[key] = True
+                while len(self._executed) > 4 * self.DRC_CAPACITY:
+                    self._executed.popitem(last=False)
             span = tracer.server_begin(
                 self.trace_component, pkt.trace_id, call.proc,
                 self.host.clock(),
@@ -244,8 +277,10 @@ class RpcServer:
             )
             return
         if result is None:
-            # Service chose to drop (e.g. simulated failure window).
+            # Service chose to drop (e.g. simulated failure window): no
+            # side effect happened, so a later re-execution is legitimate.
             self._drc.pop(key, None)
+            self._executed.pop(key, None)
             if tracer is not None:
                 tracer.server_end(span, self.host.clock(), dropped=True)
             return

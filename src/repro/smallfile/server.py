@@ -167,6 +167,12 @@ class SmallFileServer:
         self.zones: Dict[int, SiteZone] = {}
         # (site, fileid) -> unstable overlay of file content
         self.pending: Dict[Tuple[int, int], ExtentMap] = {}
+        # (site, fileid) -> completion event of the in-progress flush.
+        # Flushes must serialize per file: a flush claims the overlay at
+        # its *start* but only makes it durable at its *end*, so a commit
+        # that merely observed an empty overlay must still wait out the
+        # in-flight flush before acknowledging stability.
+        self._flushing: Dict[Tuple[int, int], object] = {}
         self._log_offsets: Dict[int, int] = {}
         self._boot_count = 0
         self.verf = self._new_verf()
@@ -459,10 +465,36 @@ class SmallFileServer:
     def _flush_file(self, zone: SiteZone, fileid: int):
         """Generator: make a file's pending writes stable — allocate
         fragments, write data through to the storage array, journal the map
-        record."""
-        overlay = self.pending.pop((zone.site_id, fileid), None)
+        record.
+
+        Serialized per file: if another flush of this file is in flight we
+        piggyback on its completion (and then flush any overlay that
+        accumulated meanwhile).  Without this a COMMIT racing the periodic
+        syncer could find the overlay already claimed, return success
+        immediately, and acknowledge stability for data the in-flight flush
+        had not yet written — a window the chaos suite catches as a
+        zero-filled tail after a lost-reply retransmission.
+        """
+        key = (zone.site_id, fileid)
+        while True:
+            inflight = self._flushing.get(key)
+            if inflight is None:
+                break
+            yield inflight
+        overlay = self.pending.pop(key, None)
         if overlay is None or not overlay.extents():
             return
+        done = self.sim.event()
+        self._flushing[key] = done
+        try:
+            yield from self._flush_overlay(zone, fileid, overlay)
+        finally:
+            if self._flushing.get(key) is done:
+                del self._flushing[key]
+            done.succeed(None)
+
+    def _flush_overlay(self, zone: SiteZone, fileid: int, overlay: ExtentMap):
+        """Generator: the flush body — caller holds the per-file flush lock."""
         rec = zone.maps.get(fileid)
         if rec is None:
             rec = MapRecord()

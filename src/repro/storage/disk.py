@@ -43,6 +43,9 @@ class Disk:
         self.params = params
         self.arm = Resource(sim, 1)
         self._next_phys = -1  # physical address right after the last access
+        # Grey-failure hook (see repro.faults.SlowDiskWindow): a sick drive
+        # still answers, just ``slow_factor`` times slower.
+        self.slow_factor = 1.0
         self.reads = 0
         self.writes = 0
         self.bytes_moved = 0
@@ -56,7 +59,8 @@ class Disk:
             positioning = self.params.avg_seek + self.params.half_rotation
             if queued:
                 positioning *= self.params.elevator_factor
-        return positioning + nbytes / self.params.transfer_rate
+        service = positioning + nbytes / self.params.transfer_rate
+        return service * self.slow_factor
 
     def access(self, phys: int, nbytes: int, write: bool = False):
         """Generator: perform one media access (caller owns coalescing)."""

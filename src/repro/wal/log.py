@@ -28,6 +28,7 @@ class WriteAheadLog:
         sim: Simulator,
         write_cost: Optional[Callable[[int], object]] = None,
         record_bytes: int = 96,
+        name: str = "",
     ):
         """``write_cost(nbytes)`` returns a generator charging the time of a
         sequential log write (e.g. ``lambda n: array.access(ptr, n, True)``);
@@ -35,11 +36,24 @@ class WriteAheadLog:
         self.sim = sim
         self.write_cost = write_cost
         self.record_bytes = record_bytes
+        self.name = name  # observability label (set by the chaos harness)
         self.records: List[Dict] = []
         self.stable_count = 0
         self.bytes_logged = 0
         self.syncs = 0
+        self.crashes = 0
         self._flush_done = None  # event while a flush is in progress
+        # -- fault hooks (see repro.faults) -------------------------------
+        # ``torn_tail(n_unsynced) -> keep`` models a torn final device
+        # write at crash: a prefix of the never-acknowledged tail survives
+        # on the platter.  ``on_crash(log, stable_before, survivors,
+        # appended)`` reports every crash to an observer (the tracer's
+        # wal-prefix invariant input).
+        self.torn_tail: Optional[Callable[[int], int]] = None
+        self.on_crash: Optional[Callable[["WriteAheadLog", int, int, int], None]] = None
+        # Absolute LSN of records[0] (advanced by checkpoint truncation),
+        # so observers can reason about prefixes across checkpoints.
+        self.base_lsn = 0
 
     # -- appending ---------------------------------------------------------
 
@@ -89,8 +103,26 @@ class WriteAheadLog:
     # -- recovery ------------------------------------------------------------
 
     def crash(self) -> None:
-        """Drop everything that was never synced."""
-        del self.records[self.stable_count:]
+        """Power loss: drop everything never acknowledged stable.
+
+        With a ``torn_tail`` hook armed (chaos runs), the final in-flight
+        device write may have partially landed: a *prefix* of the unsynced
+        tail survives and becomes stable — the strongest corruption a
+        sequential journal device can exhibit without violating its write
+        ordering.  Records acknowledged stable always survive.
+        """
+        self.crashes += 1
+        appended = len(self.records)
+        stable_before = self.stable_count
+        keep = 0
+        unsynced = appended - stable_before
+        if self.torn_tail is not None and unsynced > 0:
+            keep = max(0, min(unsynced, int(self.torn_tail(unsynced))))
+        del self.records[stable_before + keep:]
+        # Torn-tail survivors were physically written: they are stable now.
+        self.stable_count = stable_before + keep
+        if self.on_crash is not None:
+            self.on_crash(self, stable_before, self.stable_count, appended)
 
     def stable_records(self) -> List[Dict]:
         """The records guaranteed to survive a crash right now."""
@@ -103,6 +135,7 @@ class WriteAheadLog:
         keep_from_lsn = min(keep_from_lsn, self.stable_count)
         del self.records[:keep_from_lsn]
         self.stable_count -= keep_from_lsn
+        self.base_lsn += keep_from_lsn
 
     def __len__(self) -> int:
         return len(self.records)

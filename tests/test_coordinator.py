@@ -20,7 +20,7 @@ def make_fh(fileid=7):
     return FHandle(1, NF3REG, 0, fileid, 0, bytes(16)).pack()
 
 
-def build(num_nodes=3):
+def build(num_nodes=3, tracer=None):
     sim = Simulator()
     net = Network(sim, NetParams())
     nodes = []
@@ -33,6 +33,7 @@ def build(num_nodes=3):
         data_sites=[n.address for n in nodes],
         num_storage_sites=num_nodes,
         params=CoordinatorParams(probe_interval=1.0, intent_timeout=2.0),
+        tracer=tracer,
     )
     client_host = net.add_host("client")
     client = RpcClient(client_host, 700)
@@ -256,6 +257,91 @@ def test_mirror_write_recovery_repairs_lagging_replica():
 
     assert sim.run_process(run()) == b"mirrored"
     assert coord.recoveries == 1
+
+
+def test_crash_during_recovery_replays_intent_idempotently():
+    """Crash the coordinator *while* it is recovering an abandoned commit:
+    the completion was never logged, so the restart replays the same
+    intention a second time.  The duplicate replay must be idempotent —
+    data committed exactly as if recovery had run once."""
+    sim, net, client, coord, nodes = build(num_nodes=2)
+    fh = make_fh(21)
+
+    def run():
+        for node in nodes:
+            yield from write_to_node(client, node, fh, 0, RealData(b"replayed"))
+        intent = cp.Intent(
+            55, cp.K_COMMIT, fh, 0, 0,
+            [(n.address.host, n.address.port) for n in nodes],
+        )
+        yield from coord_call(
+            client, coord, cp.COORD_INTENT, cp.encode_intent_args(intent)
+        )
+        # Recovery stalls: everything the coordinator sends vanishes, so
+        # the watchdog (probe 1 s, timeout 2 s) is parked mid-recovery
+        # retransmitting its COMMIT when the crash hits.
+        net.drop_fn = lambda pkt: pkt.src.host == "coord"
+        yield sim.timeout(3.5)
+        assert coord.recoveries == 1  # first replay began, never finished
+        coord.crash()  # "complete" was never logged
+        yield sim.timeout(0.2)
+        net.drop_fn = None
+        coord.restart()  # replays intent 55 from the stable log
+        yield sim.timeout(5.0)
+
+    sim.run_process(run())
+    assert coord.recoveries >= 2  # the duplicate replay happened
+    assert coord.pending == {}
+    oid = object_id_for_fh(fh)
+    for node in nodes:
+        node.crash()
+        node.restart()
+        # Durable exactly once, with the original content.
+        assert node.store.get(oid).read(0, 8) == b"replayed"
+        assert not node.store.get(oid).unstable_ranges
+
+
+def test_recoveries_counter_matches_tracer_ledger():
+    """``Coordinator.recoveries`` and the tracer's ``intent_recovered``
+    events are two views of the same thing; they must agree even when one
+    intention is replayed more than once."""
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    sim, net, client, coord, nodes = build(num_nodes=2, tracer=tracer)
+    fh = make_fh(22)
+
+    def run():
+        for node in nodes:
+            yield from write_to_node(client, node, fh, 0, RealData(b"count"))
+        intent = cp.Intent(
+            66, cp.K_COMMIT, fh, 0, 0,
+            [(n.address.host, n.address.port) for n in nodes],
+        )
+        yield from coord_call(
+            client, coord, cp.COORD_INTENT, cp.encode_intent_args(intent)
+        )
+        # Stall the first replay so the crash lands before its completion
+        # is logged (otherwise the restart would find nothing pending).
+        net.drop_fn = lambda pkt: pkt.src.host == "coord"
+        yield sim.timeout(3.5)  # watchdog begins recovering
+        coord.crash()
+        yield sim.timeout(0.2)
+        net.drop_fn = None
+        coord.restart()  # second replay of the same intention
+        yield sim.timeout(5.0)
+
+    sim.run_process(run())
+    assert coord.recoveries >= 2
+    recovered_events = tracer.metrics.snapshot().get("coord", {}).get(
+        "intents_recovered", 0
+    )
+    assert recovered_events == coord.recoveries
+    # The ledger's final state for the op is "recovered" (closed).
+    from repro.obs.trace import INTENT_RECOVERED
+
+    assert tracer.intents[66][0] == INTENT_RECOVERED
+    assert tracer.open_intents() == []
 
 
 def test_mirror_write_recovery_with_no_donor_is_noop():

@@ -358,3 +358,67 @@ def test_in_doubt_transaction_resolved_after_participant_crash():
 
     final = h.run(settle_and_lookup())
     assert final.status == NFS3_OK
+
+
+def test_move_dir_site_stale_proxies_refetch_exactly_once():
+    """Migration convergence economics: after ``SliceCluster.move_dir_site``
+    each stale µproxy discovers the move via one MISDIRECTED reply and pays
+    the config service exactly one table fetch — not one per request."""
+    from repro.ensemble.cluster import SliceCluster
+    from repro.ensemble.params import ClusterParams
+
+    cluster = SliceCluster(params=ClusterParams(
+        num_storage_nodes=2, num_dir_servers=2, num_sf_servers=1,
+        dir_logical_sites=8, sf_logical_sites=2,
+    ))
+    clients = [cluster.add_client() for _ in range(2)]
+    root = FHandle.unpack(cluster.root_fh)
+    # Name entries co-locate with their parent (the root, site 0), so
+    # instead find a directory name that mkdir-switching places on a
+    # server-0 (even) site other than the root's: operations on its
+    # *children* then route to that site.
+    name = next(
+        n for n in (f"probe-{i}" for i in range(200))
+        if cluster.name_config.mkdir_site(root, n) % 2 == 0
+        and cluster.name_config.mkdir_site(root, n) != 0
+    )
+    site = cluster.name_config.mkdir_site(root, name)
+    dir_fh = []
+
+    def warm():
+        res = yield from clients[0][0].mkdir(cluster.root_fh, name)
+        assert res.status == NFS3_OK
+        dir_fh.append(res.fh)
+        res = yield from clients[1][0].lookup(cluster.root_fh, name)
+        assert res.status == NFS3_OK
+
+    cluster.run(warm())
+    cluster.move_dir_site(site, to_server=1)
+    fetches_before = cluster.configsvc.fetches
+
+    def create_child(ci):
+        # CREATE routes to entry_site(dir, child) == the migrated site
+        # and is never synthesized from proxy soft state.
+        res = yield from clients[ci][0].create(dir_fh[0], f"child-{ci}")
+        assert res.status == NFS3_OK
+
+    for ci in (0, 1):
+        cluster.run(create_child(ci))
+        proxy = clients[ci][1]
+        assert proxy.misdirects_seen >= 1
+        # Exactly one fetch per stale proxy, however many requests hit it.
+        assert cluster.configsvc.fetches - fetches_before == ci + 1
+
+    # Converged: further traffic through either proxy costs no new fetch.
+    def relook(ci):
+        res = yield from clients[ci][0].lookup(dir_fh[0], f"child-{ci}")
+        assert res.status == NFS3_OK
+
+    for ci in (0, 1):
+        cluster.run(relook(ci))
+    assert cluster.configsvc.fetches - fetches_before == 2
+    assert all(
+        clients[ci][1].dir_table.lookup(site)
+        == cluster.dir_servers[1].address
+        for ci in (0, 1)
+    )

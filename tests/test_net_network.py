@@ -96,6 +96,9 @@ def test_unknown_host_drops():
     a.send(Packet(a.address(1), Address("ghost", 1), b""))
     sim.run()
     assert net.packets_dropped == 1
+    # Routing failures and injected faults are counted separately.
+    assert net.packets_dropped_noroute == 1
+    assert net.packets_dropped_fault == 0
 
 
 def test_unknown_port_drops_at_host():
@@ -135,6 +138,9 @@ def test_drop_fn_injects_loss():
     sim.run()
     assert len(got) == 2
     assert net.packets_dropped == 2
+    # drop_fn losses are *fault* drops, distinct from routing failures.
+    assert net.packets_dropped_fault == 2
+    assert net.packets_dropped_noroute == 0
 
 
 def test_egress_filter_rewrites():

@@ -276,3 +276,65 @@ def test_server_crash_and_restart_recovers_via_retransmit():
 
     assert sim.run_process(run()) == 6
     assert client.retransmissions >= 1
+
+
+def test_retransmit_backoff_is_capped():
+    """Exponential backoff must not grow without bound: once the interval
+    reaches ``max_retrans_timeout`` every further wait uses the cap."""
+    sim, net, client, server, _h = build()
+    server.register(PROG, echo_service)
+    net.drop_fn = lambda pkt: True  # total blackout
+    client.retrans_timeout = 1.0
+    client.backoff = 2.0
+    client.max_retrans_timeout = 4.0
+    client.jitter = 0.0  # exact arithmetic below
+    client.max_tries = 6
+
+    def run():
+        start = sim.now
+        try:
+            yield from client.call(
+                server.address, PROG, 1, 0, Encoder().u32(5).to_bytes()
+            )
+        except RpcTimeout:
+            return sim.now - start
+        return None
+
+    elapsed = sim.run_process(run())
+    # Waits: 1 + 2 + 4 + 4 + 4 + 4 (capped), not 1 + 2 + 4 + 8 + 16 + 32.
+    assert elapsed == pytest.approx(19.0)
+    assert client.retransmissions == 5
+
+
+def test_retransmit_jitter_bounded_and_from_private_stream():
+    """Jitter lengthens each wait by at most ``jitter`` (desynchronizing a
+    client herd after a shared outage) and must come from the endpoint's
+    own RNG, never the global ``random`` stream."""
+    import random as _random
+
+    sim, net, client, server, _h = build()
+    server.register(PROG, echo_service)
+    net.drop_fn = lambda pkt: True
+    client.retrans_timeout = 1.0
+    client.max_retrans_timeout = 1.0
+    client.jitter = 0.1
+    client.max_tries = 4
+
+    _random.seed(99)
+    expected_global = _random.random()
+    _random.seed(99)
+
+    def run():
+        start = sim.now
+        try:
+            yield from client.call(
+                server.address, PROG, 1, 0, Encoder().u32(5).to_bytes()
+            )
+        except RpcTimeout:
+            return sim.now - start
+        return None
+
+    elapsed = sim.run_process(run())
+    # Four waits, each in [1.0, 1.1).
+    assert 4.0 < elapsed < 4.4
+    assert _random.random() == expected_global  # global stream untouched

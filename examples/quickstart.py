@@ -10,18 +10,17 @@ directories, small files, a large striped file, rename, readdir.
 Run:  python examples/quickstart.py
 """
 
-from repro.ensemble.cluster import SliceCluster
-from repro.ensemble.params import ClusterParams
+from repro.api import ClusterSpec, build
 from repro.util.bytesim import PatternData, RealData
 
 
 def main():
-    params = ClusterParams(
-        num_storage_nodes=4,
-        num_dir_servers=2,
-        num_sf_servers=2,
+    spec = ClusterSpec(
+        storage_nodes=4,
+        dir_servers=2,
+        sf_servers=2,
     )
-    cluster = SliceCluster(params=params)
+    cluster = build(spec)
     client, proxy = cluster.add_client("workstation")
     root = cluster.root_fh
 

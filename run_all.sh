@@ -7,7 +7,12 @@
 #   --with-chaos    additionally run the seeded chaos suite (pytest -m
 #                   chaos): whole-cluster fault schedules with trace
 #                   invariants and determinism digests (see docs/FAULTS.md).
+#   --with-reconfig additionally run the online-reconfiguration suite in
+#                   isolation (pytest -m reconfig, already part of the
+#                   default run) plus the scale-out benchmark, which
+#                   writes BENCH_reconfig.json (see docs/RECONFIG.md).
 WITH_CHAOS=0
+WITH_RECONFIG=0
 for arg in "$@"; do
     case "$arg" in
         --with-traces)
@@ -17,8 +22,11 @@ for arg in "$@"; do
         --with-chaos)
             WITH_CHAOS=1
             ;;
+        --with-reconfig)
+            WITH_RECONFIG=1
+            ;;
         *)
-            echo "usage: $0 [--with-traces] [--with-chaos]" >&2
+            echo "usage: $0 [--with-traces] [--with-chaos] [--with-reconfig]" >&2
             exit 2
             ;;
     esac
@@ -27,5 +35,10 @@ set -x
 pytest tests/ 2>&1 | tee test_output.txt
 if [ "$WITH_CHAOS" = "1" ]; then
     pytest tests/ -m chaos 2>&1 | tee chaos_output.txt
+fi
+if [ "$WITH_RECONFIG" = "1" ]; then
+    pytest tests/ -m reconfig 2>&1 | tee reconfig_output.txt
+    pytest benchmarks/test_reconfig_scaleout.py --benchmark-only -s 2>&1 \
+        | tee reconfig_bench_output.txt
 fi
 pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt

@@ -25,20 +25,23 @@ Quickstart::
     cluster.run(session())
 """
 
+from repro.api import ClusterSpec
 from repro.core import CostModel, IoPolicy, ProxyParams, RoutingTable, UProxy
 from repro.dirsvc import MKDIR_SWITCHING, NAME_HASHING, NameConfig
 from repro.ensemble.baseline import BaselineParams, MonolithicServer
 from repro.ensemble.cluster import SliceCluster
 from repro.ensemble.params import ClusterParams
 from repro.nfs.client import ClientParams, NfsClient
+from repro.reconfig import Rebalancer, RebindPlan
 from repro.sim import Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BaselineParams",
     "ClientParams",
     "ClusterParams",
+    "ClusterSpec",
     "CostModel",
     "IoPolicy",
     "MKDIR_SWITCHING",
@@ -47,6 +50,8 @@ __all__ = [
     "NameConfig",
     "NfsClient",
     "ProxyParams",
+    "Rebalancer",
+    "RebindPlan",
     "RoutingTable",
     "SliceCluster",
     "Simulator",

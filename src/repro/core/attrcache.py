@@ -124,6 +124,24 @@ class AttrCache:
         """Forget an entry (e.g. its handle went stale at the server)."""
         self._entries.pop(fileid, None)
 
+    def drop_sites(self, sites) -> List[CachedAttrs]:
+        """Discard entries homed on moved logical sites (epoch change).
+
+        The binding for those directory sites changed, so the cached
+        attributes may no longer match the authoritative copy.  Dirty
+        entries are returned so the caller can write them back to the
+        site's *new* server before forgetting them."""
+        sites = set(sites)
+        dirty: List[CachedAttrs] = []
+        for fileid in [
+            fid for fid, e in self._entries.items()
+            if e.fh.home_site in sites
+        ]:
+            entry = self._entries.pop(fileid)
+            if entry.dirty:
+                dirty.append(entry)
+        return dirty
+
     def mark_clean(self, fileid: int, now: float) -> None:
         """A write-back reached the directory server; note the new base."""
         entry = self._entries.get(fileid)

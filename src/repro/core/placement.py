@@ -113,6 +113,25 @@ class BlockMapCache:
         if dropped:
             self._size -= len(dropped)
 
+    def drop_sites(self, sites) -> int:
+        """Discard cached entries that point at moved storage sites.
+
+        Called on an epoch change: block maps naming a rebound site are
+        stale hints and must be refetched from the coordinator.  Returns
+        the number of (file, block) entries dropped."""
+        sites = set(sites)
+        dropped = 0
+        for fileid in list(self._maps):
+            fmap = self._maps[fileid]
+            stale = [b for b, s in fmap.items() if s in sites]
+            for block in stale:
+                del fmap[block]
+            dropped += len(stale)
+            self._size -= len(stale)
+            if not fmap:
+                del self._maps[fileid]
+        return dropped
+
     def clear(self) -> None:
         """Drop everything (µproxy soft-state discard)."""
         self._maps.clear()

@@ -81,8 +81,6 @@ class _Pending:
 class UProxy(PacketFilter):
     """One client's interposed request router."""
 
-    _op_counter = itertools.count(1)
-
     def __init__(
         self,
         sim,
@@ -93,6 +91,8 @@ class UProxy(PacketFilter):
         dir_table: RoutingTable,
         sf_table: Optional[RoutingTable],
         storage_nodes: List[Address],
+        *,
+        storage_table: Optional[RoutingTable] = None,
         coordinators: Optional[List[Address]] = None,
         configsvc: Optional[Address] = None,
         num_sf_sites: Optional[int] = None,
@@ -109,7 +109,18 @@ class UProxy(PacketFilter):
         self.io = io_policy
         self.dir_table = dir_table
         self.sf_table = sf_table
-        self.storage_nodes = list(storage_nodes)
+        #: optional logical-site -> node-address table for bulk storage.
+        #: When present it is the authoritative hint: ``storage_nodes`` is
+        #: derived from it and refreshed on every conditional refetch, and
+        #: placement is sized to the table's logical-site count so only
+        #: ~1/Nth of blocks move when a node joins or leaves.
+        self.storage_table = storage_table
+        if storage_table is not None:
+            self.storage_nodes = storage_table.servers()
+            num_storage_sites = storage_table.num_sites
+        else:
+            self.storage_nodes = list(storage_nodes)
+            num_storage_sites = max(1, len(self.storage_nodes))
         self.coordinators = list(coordinators or [])
         self.configsvc = configsvc
         self.num_sf_sites = num_sf_sites or (
@@ -118,7 +129,19 @@ class UProxy(PacketFilter):
         self.cost = cost or CostModel(enabled=False)
         self.params = params or ProxyParams()
         self.proxy_id = proxy_id
-        self.placement = StaticPlacement(max(1, len(storage_nodes)), io_policy)
+        # Per-instance: op_ids are already namespaced by ``proxy_id`` (see
+        # coordinator intents), and a process-global counter would make
+        # otherwise-identical runs diverge in the trace digest.
+        self._op_counter = itertools.count(1)
+        self.placement = StaticPlacement(num_storage_sites, io_policy)
+        #: cluster reconfiguration epoch of the last table generation this
+        #: µproxy installed; conditional refetches quote it so a fresh
+        #: proxy gets NOT_MODIFIED instead of the whole table dump.
+        self.config_epoch = max(
+            dir_table.epoch,
+            sf_table.epoch if sf_table is not None else 0,
+            storage_table.epoch if storage_table is not None else 0,
+        )
         self.block_maps = BlockMapCache()
         self.attr_cache = AttrCache(self.params.attr_cache_capacity)
         self.pending: "OrderedDict[Tuple[int, int], _Pending]" = OrderedDict()
@@ -169,9 +192,30 @@ class UProxy(PacketFilter):
         known = set(self.dir_table.entries)
         if self.sf_table is not None:
             known.update(self.sf_table.entries)
+        if self.storage_table is not None:
+            known.update(self.storage_table.entries)
         known.update(self.storage_nodes)
         known.update(self.coordinators)
         return known
+
+    def _storage_addr(self, site: int) -> Address:
+        """Physical node currently bound to a logical storage site."""
+        if self.storage_table is not None:
+            return self.storage_table.lookup(site)
+        return self.storage_nodes[site % len(self.storage_nodes)]
+
+    def _storage_targets(self, sites) -> List[Address]:
+        """Distinct node addresses for a replica site list, in order.
+
+        With more logical sites than nodes, two replica sites can bind to
+        the same physical node; sending the same write twice would be
+        wasteful (and would double-count replies)."""
+        targets: List[Address] = []
+        for site in sites:
+            addr = self._storage_addr(site)
+            if addr not in targets:
+                targets.append(addr)
+        return targets
 
     def _coordinator_for(self, fileid: int) -> Optional[Address]:
         if not self.coordinators:
@@ -494,7 +538,7 @@ class UProxy(PacketFilter):
             return [self._sf_addr(fh.fileid)]
         block = self.io.block_of(seg_offset)
         sites = self.placement.sites_for_block(fh, block)
-        return [self.storage_nodes[s] for s in sites]
+        return self._storage_targets(sites)
 
     def _split_read(self, client_addr: Address, xid: int, fh: FHandle,
                     segments):
@@ -648,14 +692,22 @@ class UProxy(PacketFilter):
                 sites = self.placement.sites_for_block(fh, block)
         else:
             sites = self.placement.sites_for_block(fh, block)
+        prev = self.pending.get(key)
         if fh.mirrored and len(sites) > 1:
-            # Alternate between replicas to balance load (§3.1).
-            toggle = self._mirror_toggle.get(fh.fileid, 0)
-            self._mirror_toggle[fh.fileid] = toggle + 1
-            site = sites[toggle % len(sites)]
+            addrs = [self._storage_addr(s) for s in sites]
+            if prev is not None and prev.dst in addrs:
+                # Retransmission: the last replica we tried never answered
+                # (or the reply was lost) — deterministically rotate to the
+                # next one so a dead node cannot capture every retry.
+                site = sites[(addrs.index(prev.dst) + 1) % len(sites)]
+            else:
+                # Fresh read: alternate replicas to balance load (§3.1).
+                toggle = self._mirror_toggle.get(fh.fileid, 0)
+                self._mirror_toggle[fh.fileid] = toggle + 1
+                site = sites[toggle % len(sites)]
         else:
             site = sites[0]
-        dst = self.storage_nodes[site]
+        dst = self._storage_addr(site)
         rec.dst = dst
         self._remember(key, rec)
         pkt.rewrite_dst(dst)
@@ -680,7 +732,7 @@ class UProxy(PacketFilter):
             sites = [site]
         else:
             sites = self.placement.sites_for_block(fh, block)
-        targets = [self.storage_nodes[s] for s in sites]
+        targets = self._storage_targets(sites)
         rec.dst = targets[0]
         rec.expected = len(targets)
         self._remember(key, rec)
@@ -1189,6 +1241,12 @@ class UProxy(PacketFilter):
                 yield from self._writeback_entry(entry)
 
     def _refresh_tables(self) -> None:
+        """Conditional table reload after a MISDIRECTED reply.
+
+        One refetch is in flight at a time per µproxy; the request quotes
+        ``config_epoch`` so the configuration service answers NOT_MODIFIED
+        when the proxy is already fresh (a burst of misdirects costs one
+        table dump per epoch bump, not one per misdirect)."""
         if self.configsvc is None or self._refreshing:
             return
         self._refreshing = True
@@ -1199,25 +1257,68 @@ class UProxy(PacketFilter):
                 CONFIG_V1,
                 SLICE_CONFIG_PROGRAM,
                 decode_tables,
+                encode_config_get,
             )
 
             try:
                 dec, _ = yield from self.client.call(
                     self.configsvc, SLICE_CONFIG_PROGRAM, CONFIG_V1,
-                    CONFIG_GET, b"",
+                    CONFIG_GET, encode_config_get("*", self.config_epoch),
                 )
-                tables = decode_tables(dec)
-                if "dir" in tables:
-                    self.dir_table.replace(
-                        tables["dir"].entries, tables["dir"].version
-                    )
-                if "sf" in tables and self.sf_table is not None:
-                    self.sf_table.replace(
-                        tables["sf"].entries, tables["sf"].version
-                    )
+                fetch = decode_tables(dec)
+                if fetch.modified:
+                    self._install_tables(fetch.tables)
+                self.config_epoch = max(self.config_epoch, fetch.epoch)
             except RpcTimeout:
                 pass
             finally:
                 self._refreshing = False
 
         self.sim.process(refresh(), name=f"uproxy-refresh:{self.host.name}")
+
+    @staticmethod
+    def _moved_sites(old_entries: List[Address],
+                     new_entries: List[Address]) -> List[int]:
+        """Logical sites whose binding differs between two generations."""
+        moved = [
+            site for site, addr in enumerate(new_entries)
+            if site >= len(old_entries) or old_entries[site] != addr
+        ]
+        moved.extend(range(len(new_entries), len(old_entries)))
+        return moved
+
+    def _install_tables(self, tables: Dict[str, RoutingTable]) -> None:
+        """Adopt a freshly fetched table generation and drop stale hints.
+
+        Every cached hint tied to a *moved* site is discarded: attribute
+        cache entries homed on a rebound directory site (dirty ones are
+        written back to the new server first), and block-map fragments
+        naming a rebound storage site.  Hints for unmoved sites survive —
+        reconfiguration invalidates ~1/Nth of the soft state, not all of
+        it."""
+        fresh = tables.get("dir")
+        if fresh is not None:
+            old = list(self.dir_table.entries)
+            if self.dir_table.replace(fresh.entries, fresh.version,
+                                      epoch=fresh.epoch):
+                moved = self._moved_sites(old, self.dir_table.entries)
+                for entry in self.attr_cache.drop_sites(moved):
+                    self._spawn_writeback(entry)
+                self.cost.softstate()
+        fresh = tables.get("sf")
+        if fresh is not None and self.sf_table is not None:
+            self.sf_table.replace(fresh.entries, fresh.version,
+                                  epoch=fresh.epoch)
+        fresh = tables.get("storage")
+        if fresh is not None and self.storage_table is not None:
+            old = list(self.storage_table.entries)
+            if self.storage_table.replace(fresh.entries, fresh.version,
+                                          epoch=fresh.epoch):
+                moved = self._moved_sites(old, self.storage_table.entries)
+                self.block_maps.drop_sites(moved)
+                self.storage_nodes = self.storage_table.servers()
+                if self.storage_table.num_sites != self.placement.num_nodes:
+                    self.placement = StaticPlacement(
+                        self.storage_table.num_sites, self.io
+                    )
+                self.cost.softstate()

@@ -102,6 +102,7 @@ class DirectoryServer:
         config: NameConfig,
         backing: BackingRegistry,
         site_ids: List[int],
+        *,
         peer_lookup: Callable[[int], Address],
         coordinator: Optional[Address] = None,
         params: Optional[DirServerParams] = None,

@@ -9,6 +9,7 @@ of storage nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.placement import IoPolicy
 from repro.dirsvc.config import MKDIR_SWITCHING, NameConfig
@@ -30,6 +31,10 @@ class ClusterParams:
     num_coordinators: int = 1
     dir_logical_sites: int = 64
     sf_logical_sites: int = 64
+    #: logical bulk-storage sites (the rebalancing granularity: ~1/Nth of
+    #: blocks move per joined/removed node).  ``None`` means one site per
+    #: storage node — bindings identical to the pre-table behaviour.
+    storage_logical_sites: Optional[int] = None
     name_mode: str = MKDIR_SWITCHING
     mkdir_p: float = 0.25
     mirror_files: bool = False  # mint FLAG_MIRRORED into new regular files

@@ -35,6 +35,7 @@ from .harness import ChaosHarness, ChaosReport, FaultController, instrument_wals
 from .scenarios import (
     BulkIOChaosScenario,
     MixedOpsChaosScenario,
+    RebalanceChaosScenario,
     UntarChaosScenario,
 )
 
@@ -53,5 +54,6 @@ __all__ = [
     "instrument_wals",
     "BulkIOChaosScenario",
     "MixedOpsChaosScenario",
+    "RebalanceChaosScenario",
     "UntarChaosScenario",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "UntarChaosScenario",
     "BulkIOChaosScenario",
     "MixedOpsChaosScenario",
+    "RebalanceChaosScenario",
 ]
 
 
@@ -193,6 +194,102 @@ class BulkIOChaosScenario:
         for i, (fh, payload) in enumerate(self._files):
             data = yield from client.read_file(fh, payload.length)
             assert data == payload, f"post-settle corruption in bulk{i}.bin"
+        return len(self._files)
+
+
+# -- scenario 2b: online scale-out under chaos -------------------------------
+
+
+class RebalanceChaosScenario:
+    """Bulk I/O while a storage node joins — and a *source* node crashes
+    mid-rebalance.
+
+    The drive writes patterned files through the block path, then calls
+    ``cluster.add_storage_node()`` and runs the rebalancer concurrently
+    with more I/O.  Once migration is under way, the scenario crashes the
+    source node of the plan's first site move (event-driven, via
+    ``controller.crash_now`` — guaranteed mid-drain, no clock guessing)
+    and restarts it after ``down_for`` simulated seconds; the rebalancer's
+    ctrl-plane copies and the clients' retransmissions must both ride out
+    the outage.  Verification re-reads every byte, then asserts the plan's
+    epoch really installed and every migration closed — the
+    ``reconfig-epoch-monotonic`` and ``no-lost-write-across-rebind``
+    invariants run in :meth:`ChaosHarness.run` afterwards.
+    """
+
+    name = "rebalance"
+
+    def __init__(self, sizes: Optional[List[int]] = None, seed: int = 0,
+                 down_for: float = 2.0, client_index: int = 0):
+        # Enough distinct files (distinct placement hash bases) and enough
+        # blocks per file that the stolen sites actually hold data — a
+        # too-small seed set can leave the rebalancer with zero units.
+        self.sizes = list(sizes) if sizes else [
+            256 << 10, 320 << 10, 384 << 10, 448 << 10,
+        ]
+        self.seed = seed
+        self.down_for = down_for
+        self.client_index = client_index
+        self._files: List[Tuple[bytes, PatternData]] = []
+        self.report = None
+        self.epoch_before = None
+
+    def _write_one(self, client, root, index: int, size: int):
+        payload = PatternData(size, seed=self.seed * 1000 + index)
+        fh = yield from ensure_file(client, root, f"reb{index}.bin")
+        yield from client.write_file(fh, payload)
+        self._files.append((fh, payload))
+
+    def _revive_later(self, harness, victim: int):
+        yield harness.cluster.sim.timeout(self.down_for)
+        harness.controller.restart_now("storage", index=victim)
+
+    def drive(self, harness):
+        cluster = harness.cluster
+        sim = cluster.sim
+        client = harness.client(self.client_index)
+        root = cluster.root_fh
+        # Seed data that the rebalancer will have to move.
+        for i, size in enumerate(self.sizes):
+            yield from self._write_one(client, root, i, size)
+        self.epoch_before = cluster.configsvc.epoch
+        plan = cluster.add_storage_node()
+        assert not plan.empty, "nothing to rebalance"
+        victim = next(
+            i for i, node in enumerate(cluster.storage_nodes)
+            if node.address == plan.moves[0].src
+        )
+        rebalance = sim.process(
+            cluster.rebalance(plan), name="chaos-rebalance"
+        )
+        # Crash the migration source while its sites are draining, and
+        # schedule the revival *concurrently*: the live writes below must
+        # ride out the outage, not gate the restart behind their own
+        # retransmission stalls.
+        yield sim.timeout(0.01)
+        harness.controller.crash_now("storage", index=victim)
+        revive = sim.process(
+            self._revive_later(harness, victim), name="chaos-revive"
+        )
+        # Clients keep writing into the outage + rebalance window.
+        base = len(self.sizes)
+        for i, size in enumerate(self.sizes):
+            yield from self._write_one(client, root, base + i, size)
+        yield revive
+        self.report = yield rebalance
+        return len(self._files)
+
+    def verify(self, harness):
+        cluster = harness.cluster
+        assert cluster.configsvc.epoch == self.epoch_before + 1
+        assert self.report is not None and self.report.sites_moved > 0
+        assert self.report.units_moved > 0, "rebalance moved nothing"
+        for node in cluster.storage_nodes:
+            assert not node.barrier_sites, node.barrier_sites
+        client = harness.client(self.client_index)
+        for i, (fh, payload) in enumerate(self._files):
+            data = yield from client.read_file(fh, payload.length)
+            assert data == payload, f"post-rebalance corruption in reb{i}.bin"
         return len(self._files)
 
 

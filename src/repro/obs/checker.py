@@ -39,6 +39,18 @@ that make interposed request routing trustworthy:
     single boot epoch — the duplicate-request cache must absorb packet
     duplication and retransmission replays of non-idempotent operations.
 
+``reconfig-epoch-monotonic``
+    Cluster reconfiguration epochs installed at the configuration service
+    are strictly increasing: two generations can never collide or go
+    backwards, so a µproxy comparing epochs always orders bindings
+    correctly.
+
+``no-lost-write-across-rebind``
+    Every (object, site) placement the rebalancer started moving was
+    moved to completion, and no data server accepted a WRITE for a
+    logical site it had already relinquished — together: online
+    rebalancing never strands client data on an old binding.
+
 Any integration test or benchmark becomes a whole-system correctness check
 by attaching a tracer and calling :meth:`TraceChecker.check` at the end.
 """
@@ -203,6 +215,40 @@ class TraceChecker:
             for component, key, ts in self.tracer.duplicate_executions
         ]
 
+    def _check_epoch_monotonic(self) -> List[Violation]:
+        out = []
+        previous: Optional[int] = None
+        for ts, epoch, _moves in self.tracer.epochs_installed:
+            if previous is not None and epoch <= previous:
+                out.append(Violation(
+                    "reconfig-epoch-monotonic", f"epoch {epoch} @ {ts:.6f}",
+                    f"installed after epoch {previous}: epochs must be "
+                    f"strictly increasing",
+                ))
+            previous = epoch
+        return out
+
+    def _check_no_lost_write(self) -> List[Violation]:
+        out = [
+            Violation(
+                "no-lost-write-across-rebind",
+                f"migration object={oid} site={site}",
+                "rebalance started moving this placement but never "
+                "finished: data may be stranded on the old binding",
+            )
+            for oid, site in self.tracer.open_migrations()
+        ]
+        out.extend(
+            Violation(
+                "no-lost-write-across-rebind",
+                f"{component} object={oid}",
+                f"accepted a WRITE for relinquished site {site} at "
+                f"{ts:.6f}: that data is invisible under the new bindings",
+            )
+            for component, oid, site, ts in self.tracer.stale_writes
+        )
+        return out
+
     def _check_intents(self, allow_open_intents: bool) -> List[Violation]:
         if allow_open_intents:
             return []
@@ -228,6 +274,8 @@ class TraceChecker:
         out.extend(self._check_intents(allow_open_intents))
         out.extend(self._check_wal_prefix())
         out.extend(self._check_at_most_once())
+        out.extend(self._check_epoch_monotonic())
+        out.extend(self._check_no_lost_write())
         return out
 
     def check(self, require_replies: bool = True,

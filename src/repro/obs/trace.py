@@ -219,6 +219,17 @@ class Tracer:
         self.faults_injected: List[Tuple[float, str, Tuple]] = []
         # Small ring of free-form component events (debugging aid).
         self.component_events = deque(maxlen=keep_component_events)
+        # -- reconfiguration ledgers (see repro.reconfig) -------------------
+        # Epochs installed at the config service, in install order:
+        # (ts, epoch, moves) — the reconfig-epoch-monotonic invariant's
+        # input (epochs must be strictly increasing).
+        self.epochs_installed: List[Tuple[float, int, Tuple]] = []
+        # (object_id_hex, site) -> state — every unit the rebalancer starts
+        # must finish (no-lost-write-across-rebind).
+        self.migrations: Dict[Tuple[str, int], str] = {}
+        # Writes a data server accepted for a site it had already
+        # relinquished: must stay empty (no-lost-write-across-rebind).
+        self.stale_writes: List[Tuple[str, str, int, float]] = []
         _ACTIVE.append(weakref.ref(self))
 
     # ------------------------------------------------------------------
@@ -482,6 +493,52 @@ class Tracer:
         self.metrics.scope(component).inc("duplicate_executions")
 
     # ------------------------------------------------------------------
+    # reconfiguration lifecycle (see repro.reconfig)
+    # ------------------------------------------------------------------
+
+    def rebind_installed(self, epoch: int, ts: float = 0.0,
+                         moves=()) -> None:
+        """The config service installed a new binding generation."""
+        if not self.enabled:
+            return
+        self.epochs_installed.append((ts, epoch, tuple(moves)))
+        scope = self.metrics.scope("reconfig")
+        scope.inc("rebinds_installed")
+        scope.inc("sites_moved", len(tuple(moves)))
+
+    def migration_started(self, object_id: bytes, site: int, src, dst,
+                          ts: float) -> None:
+        """The rebalancer began moving one (object, site) placement."""
+        if not self.enabled:
+            return
+        self.migrations[(object_id.hex(), site)] = "open"
+        self.metrics.scope("reconfig").inc("migrations_started")
+
+    def migration_finished(self, object_id: bytes, site: int, ts: float,
+                           bytes_moved: int = 0) -> None:
+        """One (object, site) placement finished moving."""
+        if not self.enabled:
+            return
+        self.migrations[(object_id.hex(), site)] = "done"
+        scope = self.metrics.scope("reconfig")
+        scope.inc("migrations_finished")
+        scope.inc("bytes_migrated", bytes_moved)
+
+    def stale_write_accepted(self, component: str, object_id: bytes,
+                             site: int, ts: float) -> None:
+        """A data server served a WRITE for a site it no longer hosts —
+        that write is stranded on a server the routing tables no longer
+        name, i.e. a lost write.  Must never happen."""
+        if not self.enabled:
+            return
+        self.stale_writes.append((component, object_id.hex(), site, ts))
+        self.metrics.scope("reconfig").inc("stale_writes_accepted")
+
+    def open_migrations(self) -> List[Tuple[str, int]]:
+        return [unit for unit, state in self.migrations.items()
+                if state == "open"]
+
+    # ------------------------------------------------------------------
     # free-form component events
     # ------------------------------------------------------------------
 
@@ -532,6 +589,12 @@ class Tracer:
             feed("fault", entry)
         for entry in self.duplicate_executions:
             feed("dupexec", entry[0], str(entry[1]), entry[2])
+        for entry in self.epochs_installed:
+            feed("epoch", entry)
+        for unit, state in self.migrations.items():
+            feed("migration", unit, state)
+        for entry in self.stale_writes:
+            feed("stalewrite", entry)
         feed("cksum", self.packets_checked, len(self.checksum_failures))
         return h.hexdigest()
 
@@ -549,4 +612,8 @@ class Tracer:
             "packets_checked": self.packets_checked,
             "checksum_failures": len(self.checksum_failures),
             "evicted": self.evicted,
+            "epochs_installed": len(self.epochs_installed),
+            "migrations": len(self.migrations),
+            "open_migrations": len(self.open_migrations()),
+            "stale_writes": len(self.stale_writes),
         }

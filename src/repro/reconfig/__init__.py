@@ -1,0 +1,34 @@
+"""Online reconfiguration: elastic scale-out/in of a Slice ensemble (§6).
+
+The paper treats the µproxy's routing tables as soft-state *hints* whose
+authoritative copy lives outside the data path; reconfiguration therefore
+reduces to three moves:
+
+1. **Plan** — compute a new generation of one or more routing tables
+   (:func:`plan_add_server` / :func:`plan_remove_server` produce a
+   :class:`RebindPlan` that rebinds ~1/Nth of the logical sites).
+2. **Install** — the configuration service adopts the whole plan under a
+   single cluster-epoch bump; servers relinquish/adopt their logical sites
+   in the same instant, so the authoritative generation is never torn.
+3. **Rebalance** — a :class:`Rebalancer` drains the affected objects from
+   old bindings to new ones over the ctrl-plane migration procs, under
+   coordinator intention logging, while stale µproxies keep serving from
+   the old tables until a MISDIRECTED reply forces a conditional refetch.
+
+Clients observe zero failed operations: writes racing a rebind are turned
+away with MISDIRECTED and retransmitted to the new binding, which holds
+them behind a migration barrier until their data has landed.
+"""
+
+from .plan import RebindPlan, SiteMove, plan_add_server, plan_remove_server
+from .rebalancer import MigrationUnit, RebalanceReport, Rebalancer
+
+__all__ = [
+    "RebindPlan",
+    "SiteMove",
+    "plan_add_server",
+    "plan_remove_server",
+    "MigrationUnit",
+    "RebalanceReport",
+    "Rebalancer",
+]

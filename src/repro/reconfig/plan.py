@@ -1,0 +1,122 @@
+"""Rebind planning: compute a new routing-table generation declaratively.
+
+A :class:`RebindPlan` is a pure description — the full new entry list for
+every touched table plus the site moves that produced it.  Planning never
+mutates live state; the plan is applied atomically by
+:meth:`~repro.ensemble.configsvc.ConfigService.install` (one epoch bump for
+the whole plan) and executed by the
+:class:`~repro.reconfig.rebalancer.Rebalancer`.
+
+Planners move the minimum number of sites: joining a server steals
+``floor(S / N_new)`` sites from the most-loaded donors, leaving every other
+binding untouched, so only ~1/Nth of the data migrates (§6's rationale for
+many logical sites per physical server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.routing import RoutingTable
+from repro.net import Address
+
+__all__ = ["SiteMove", "RebindPlan", "plan_add_server", "plan_remove_server"]
+
+
+@dataclass(frozen=True)
+class SiteMove:
+    """One logical site changing its physical binding."""
+
+    table: str
+    site: int
+    src: Address
+    dst: Address
+
+    def __str__(self) -> str:
+        return (
+            f"{self.table}[{self.site}]: {self.src.host}:{self.src.port}"
+            f" -> {self.dst.host}:{self.dst.port}"
+        )
+
+
+@dataclass
+class RebindPlan:
+    """A declarative reconfiguration: new table generations + their moves."""
+
+    #: full new entry list per touched table (what ConfigService installs)
+    tables: Dict[str, List[Address]]
+    #: every (site, old-binding, new-binding) triple the plan changes
+    moves: List[SiteMove] = field(default_factory=list)
+    #: servers this plan introduces / retires (informational)
+    added: List[Address] = field(default_factory=list)
+    removed: List[Address] = field(default_factory=list)
+
+    def moves_for(self, table: str) -> List[SiteMove]:
+        return [m for m in self.moves if m.table == table]
+
+    @property
+    def empty(self) -> bool:
+        return not self.moves
+
+    def describe(self) -> str:
+        lines = [
+            f"rebind plan: {len(self.moves)} site move(s) across "
+            f"{len(self.tables)} table(s)"
+        ]
+        lines.extend(f"  {move}" for move in self.moves)
+        return "\n".join(lines)
+
+
+def plan_add_server(table_name: str, table: RoutingTable,
+                    new_addr: Address) -> RebindPlan:
+    """Plan a server join: steal ``floor(S / N_new)`` sites for the newcomer.
+
+    Donors are the currently most-loaded servers (ties broken by first
+    appearance in the table), each giving up its highest-numbered site
+    first — fully deterministic, and no binding between two surviving
+    servers ever changes.
+    """
+    if new_addr in table.entries:
+        raise ValueError(f"{new_addr} is already bound in table {table_name!r}")
+    entries = list(table.entries)
+    quota = len(entries) // (len(table.servers()) + 1)
+    loads: Dict[Address, List[int]] = {
+        addr: table.sites_of(addr) for addr in table.servers()
+    }
+    moves: List[SiteMove] = []
+    while len(moves) < quota:
+        donor = max(loads, key=lambda addr: len(loads[addr]))
+        if not loads[donor]:
+            break  # fewer sites than servers: nothing left to steal
+        site = loads[donor].pop()
+        entries[site] = new_addr
+        moves.append(SiteMove(table_name, site, donor, new_addr))
+    moves.sort(key=lambda m: m.site)
+    return RebindPlan({table_name: entries}, moves, added=[new_addr])
+
+
+def plan_remove_server(table_name: str, table: RoutingTable,
+                       addr: Address) -> RebindPlan:
+    """Plan a server leave: respread its sites over the least-loaded peers.
+
+    Every one of ``addr``'s sites moves (it must: the server is going
+    away); no site bound elsewhere is touched.
+    """
+    orphans = table.sites_of(addr)
+    if not orphans:
+        raise ValueError(f"{addr} is not bound in table {table_name!r}")
+    survivors = [a for a in table.servers() if a != addr]
+    if not survivors:
+        raise ValueError("cannot remove the last server in a routing table")
+    entries = list(table.entries)
+    loads: Dict[Address, int] = {
+        a: len(table.sites_of(a)) for a in survivors
+    }
+    moves: List[SiteMove] = []
+    for site in orphans:
+        target = min(loads, key=lambda a: loads[a])
+        entries[site] = target
+        loads[target] += 1
+        moves.append(SiteMove(table_name, site, addr, target))
+    return RebindPlan({table_name: entries}, moves, removed=[addr])

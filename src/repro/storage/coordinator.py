@@ -20,7 +20,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.net import Address, Host
 from repro.nfs import proto
-from repro.nfs.types import FILE_SYNC
 from repro.rpc import RpcClient, RpcServer, RpcTimeout
 from repro.rpc.xdr import Decoder
 from repro.util.bytesim import EMPTY
@@ -227,6 +226,8 @@ class Coordinator:
             yield from self._recover_commit(intent)
         elif intent.kind == cp.K_MIRROR_WRITE:
             yield from self._recover_mirror_write(intent)
+        elif intent.kind == cp.K_MIGRATE:
+            yield from self._recover_migrate(intent)
         self.pending.pop(intent.op_id, None)
         self.log.append({"type": "complete", "op_id": intent.op_id})
 
@@ -260,10 +261,18 @@ class Coordinator:
         if not donors:
             return  # no replica completed: the client will retransmit
         donor = donors[0]
+        # Repair traffic travels the ctrl plane (CTRL_OBJ_READ /
+        # CTRL_MIGRATE_WRITE): it must reach the replica that physically
+        # holds the bytes even while a reconfiguration is redrawing the
+        # hosted-site map, so it bypasses site checks and barriers.
         dec, data = yield from self.client.call(
-            donor, proto.NFS_PROGRAM, proto.NFS_V3, proto.PROC_READ,
-            proto.encode_read_args(intent.fh, intent.offset, intent.count),
+            donor, ctrlproto.SLICE_CTRL_PROGRAM, ctrlproto.CTRL_V1,
+            ctrlproto.CTRL_OBJ_READ,
+            ctrlproto.encode_range_args(intent.fh, intent.offset, intent.count),
         )
+        read = ctrlproto.decode_read_res(dec)
+        if not read.exists:
+            return
         for addr, stat in stats:
             if addr == donor:
                 continue
@@ -271,14 +280,51 @@ class Coordinator:
                 continue
             try:
                 yield from self.client.call(
-                    addr, proto.NFS_PROGRAM, proto.NFS_V3, proto.PROC_WRITE,
-                    proto.encode_write_args(
-                        intent.fh, intent.offset, data.length, FILE_SYNC
+                    addr, ctrlproto.SLICE_CTRL_PROGRAM, ctrlproto.CTRL_V1,
+                    ctrlproto.CTRL_MIGRATE_WRITE,
+                    ctrlproto.encode_range_args(
+                        intent.fh, intent.offset, data.length
                     ),
                     data,
                 )
             except RpcTimeout:
                 pass
+
+    def _recover_migrate(self, intent: cp.Intent):
+        """Finish a torn object migration: re-copy [offset, offset+count)
+        from the old binding (``sites[0]``) to the new one (``sites[1]``).
+
+        Idempotent — re-writing identical stable bytes is harmless, and if
+        the source has since discarded the object the destination copy
+        already landed (the rebalancer removes only after completion)."""
+        if len(intent.sites) < 2:
+            return
+        src = Address(*intent.sites[0])
+        dst = Address(*intent.sites[1])
+        try:
+            dec, data = yield from self.client.call(
+                src, ctrlproto.SLICE_CTRL_PROGRAM, ctrlproto.CTRL_V1,
+                ctrlproto.CTRL_OBJ_READ,
+                ctrlproto.encode_range_args(
+                    intent.fh, intent.offset, intent.count
+                ),
+            )
+        except RpcTimeout:
+            return  # source down: the watchdog retries on the next pass
+        read = ctrlproto.decode_read_res(dec)
+        if not read.exists or data.length == 0:
+            return  # source already dropped it: copy must have completed
+        try:
+            yield from self.client.call(
+                dst, ctrlproto.SLICE_CTRL_PROGRAM, ctrlproto.CTRL_V1,
+                ctrlproto.CTRL_MIGRATE_WRITE,
+                ctrlproto.encode_range_args(
+                    intent.fh, intent.offset, data.length
+                ),
+                data,
+            )
+        except RpcTimeout:
+            pass
 
     def _watchdog(self):
         while True:

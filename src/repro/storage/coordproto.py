@@ -24,6 +24,7 @@ __all__ = [
     "K_TRUNCATE",
     "K_COMMIT",
     "K_MIRROR_WRITE",
+    "K_MIGRATE",
     "Intent",
     "encode_intent_args",
     "decode_intent_args",
@@ -50,6 +51,11 @@ K_REMOVE = 1
 K_TRUNCATE = 2
 K_COMMIT = 3
 K_MIRROR_WRITE = 4
+# Online reconfiguration (repro.reconfig): one object range being copied
+# from an old binding to a new one.  sites = [source, destination]; the
+# recovery action re-copies the range via the ctrl-plane migration procs,
+# which is idempotent (stable writes of identical bytes).
+K_MIGRATE = 5
 
 
 class Intent(NamedTuple):

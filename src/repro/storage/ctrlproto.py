@@ -19,6 +19,8 @@ __all__ = [
     "CTRL_OBJ_REMOVE",
     "CTRL_OBJ_TRUNCATE",
     "CTRL_OBJ_STAT",
+    "CTRL_OBJ_READ",
+    "CTRL_MIGRATE_WRITE",
     "encode_obj_args",
     "decode_obj_args",
     "encode_truncate_args",
@@ -27,7 +29,13 @@ __all__ = [
     "decode_stat_res",
     "encode_status_res",
     "decode_status_res",
+    "encode_range_args",
+    "decode_range_args",
+    "encode_read_res",
+    "decode_read_res",
     "ObjStat",
+    "RangeArgs",
+    "ReadRes",
 ]
 
 SLICE_CTRL_PROGRAM = 395900
@@ -37,6 +45,12 @@ CTRL_PING = 0
 CTRL_OBJ_REMOVE = 1
 CTRL_OBJ_TRUNCATE = 2
 CTRL_OBJ_STAT = 3
+# Migration data plane (repro.reconfig): reads and stable writes that
+# bypass the NFS path's site checks and barriers.  Issued only by the
+# rebalancer and by coordinators repairing mirrors/migrations — never by
+# clients or µproxies.
+CTRL_OBJ_READ = 4
+CTRL_MIGRATE_WRITE = 5
 
 
 def encode_obj_args(fh: bytes) -> bytes:
@@ -80,9 +94,42 @@ def decode_stat_res(dec: Decoder) -> ObjStat:
     return ObjStat(dec.boolean(), dec.u64(), dec.u64())
 
 
+class RangeArgs(NamedTuple):
+    fh: bytes
+    offset: int
+    count: int
+
+
+def encode_range_args(fh: bytes, offset: int, count: int) -> bytes:
+    enc = Encoder().opaque_var(fh)
+    enc.u64(offset)
+    enc.u32(count)
+    return enc.to_bytes()
+
+
+def decode_range_args(dec: Decoder) -> RangeArgs:
+    return RangeArgs(dec.opaque_var(64), dec.u64(), dec.u32())
+
+
 def encode_status_res(status: int) -> bytes:
     return Encoder().u32(status).to_bytes()
 
 
 def decode_status_res(dec: Decoder) -> int:
     return dec.u32()
+
+
+class ReadRes(NamedTuple):
+    exists: bool
+    count: int
+
+
+def encode_read_res(exists: bool, count: int) -> bytes:
+    enc = Encoder()
+    enc.boolean(exists)
+    enc.u32(count)
+    return enc.to_bytes()
+
+
+def decode_read_res(dec: Decoder) -> ReadRes:
+    return ReadRes(dec.boolean(), dec.u32())

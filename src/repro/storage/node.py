@@ -10,6 +10,14 @@ handle, with the behaviours the paper describes in §4.2:
   the effect that halves mirrored read bandwidth in Table 2);
 - unstable writes live in memory until committed, flushed, or lost to a
   crash; a reboot changes the write verifier so clients re-send.
+
+Under online reconfiguration (§6, ``repro.reconfig``) a node additionally
+knows which *logical storage sites* it hosts: READ/WRITE for slice files
+whose stripe block belongs to a site the node does not host are answered
+``SLICEERR_MISDIRECTED`` (the µproxy's cue to refetch its tables), and a
+per-site *migration barrier* stalls freshly rebound traffic until the
+rebalancer has landed that site's data here.  Pseudo-volume backing
+objects (small-file zones/logs/maps) are pinned at birth and exempt.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from typing import Dict, Optional, Set
 
 from repro.net import Host
 from repro.nfs import proto
-from repro.nfs.errors import NFS3ERR_NOENT, NFS3_OK
+from repro.nfs.errors import NFS3ERR_NOENT, NFS3_OK, SLICEERR_MISDIRECTED
 from repro.nfs.fhandle import FHandle
 from repro.nfs.types import DATA_SYNC, FILE_SYNC, Fattr3, NF3REG
 from repro.rpc import RpcServer
@@ -34,6 +42,11 @@ from .objects import BLOCK_SIZE, ObjectStore
 __all__ = ["StorageNode", "StorageNodeParams", "object_id_for_fh", "STORE_PORT"]
 
 STORE_PORT = 3049
+
+# Volumes at or above this value are server-private backing objects
+# (small-file zones, logs, maps): their placement is the owning server's
+# policy, never the cluster routing table's, so site checks exempt them.
+PSEUDO_VOLUME_BASE = 0xFF00
 
 
 def object_id_for_fh(fh: bytes) -> bytes:
@@ -118,6 +131,21 @@ class StorageNode:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        # -- online reconfiguration (repro.reconfig) ------------------------
+        # hosted_sites None => site checks disabled (standalone node).
+        self.hosted_sites: Optional[Set[int]] = None
+        self.relinquished_sites: Set[int] = set()
+        self._site_placement = None  # StaticPlacement sized to the table
+        self._site_policy = None  # IoPolicy (stripe_unit for block_of)
+        self._barriers: Dict[int, object] = {}
+        # Last file handle seen per object: the rebalancer needs real fhs
+        # to re-derive placement (the mirrored flag) and to address the
+        # ctrl-plane migration procs.  Persistent across crashes — the fh
+        # is derivable from the durable object id plus directory state.
+        self.fh_of: Dict[bytes, bytes] = {}
+        self.misdirects = 0
+        self.migrate_reads = 0
+        self.migrate_writes = 0
         sim.process(self._syncer(), name=f"syncer:{host.name}")
 
     @property
@@ -147,6 +175,96 @@ class StorageNode:
         self._boot_count += 1
         self.verf = self._new_verf()
         self.host.restart()
+
+    # -- logical-site awareness (online reconfiguration) --------------------
+
+    def configure_sites(self, hosted_sites, placement, policy) -> None:
+        """Arm site checking: this node serves only ``hosted_sites``.
+
+        ``placement`` is a :class:`~repro.core.placement.StaticPlacement`
+        sized to the cluster's storage routing table (so the node computes
+        the same (file, block) -> sites mapping as every µproxy) and
+        ``policy`` the shared :class:`~repro.core.placement.IoPolicy`.
+        """
+        self.hosted_sites = set(hosted_sites)
+        self._site_placement = placement
+        self._site_policy = policy
+
+    def adopt_site(self, site: int) -> None:
+        """A rebind made this node the home of a logical site."""
+        if self.hosted_sites is None:
+            self.hosted_sites = set()
+        self.hosted_sites.add(site)
+        self.relinquished_sites.discard(site)
+
+    def relinquish_site(self, site: int) -> None:
+        """A rebind moved a logical site away: stop serving it *now*.
+
+        Any in-flight client write for the site is answered MISDIRECTED
+        from this instant, so no new data can land on the old binding
+        while the rebalancer drains it."""
+        if self.hosted_sites is not None:
+            self.hosted_sites.discard(site)
+        self.relinquished_sites.add(site)
+
+    def set_migration_barrier(self, site: int) -> None:
+        """Stall freshly rebound traffic for ``site`` until its data lands."""
+        if site not in self._barriers:
+            self._barriers[site] = self.sim.event()
+
+    def clear_migration_barrier(self, site: int) -> None:
+        event = self._barriers.pop(site, None)
+        if event is not None:
+            event.succeed(None)
+
+    @property
+    def barrier_sites(self) -> Set[int]:
+        return set(self._barriers)
+
+    def _route_sites(self, fh_raw: bytes, offset: int) -> Optional[Set[int]]:
+        """Logical sites a slice-routed request may legitimately target,
+        or None when the request is exempt from site checks."""
+        if self._site_placement is None:
+            return None
+        if self._site_policy.use_block_maps:
+            # Dynamic placement: the authoritative map lives at the
+            # coordinator, so the node cannot re-derive routing locally.
+            return None
+        try:
+            fh = FHandle.unpack(fh_raw)
+        except ValueError:
+            return None  # foreign handle: not routed by the slice tables
+        if fh.volume >= PSEUDO_VOLUME_BASE:
+            return None  # pinned backing object (small-file zone/log/map)
+        block = self._site_policy.block_of(offset)
+        return set(self._site_placement.sites_for_block(fh, block))
+
+    def _hosted_check(self, fh_raw: bytes, offset: int):
+        """(misdirected, my_sites): site check for one READ/WRITE."""
+        sites = self._route_sites(fh_raw, offset)
+        if sites is None:
+            return False, ()
+        mine = sites & self.hosted_sites
+        if not mine:
+            self.misdirects += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    f"storage:{self.host.name}", "misdirected", self.sim.now
+                )
+            return True, ()
+        return False, mine
+
+    def _await_barriers(self, sites):
+        """Generator: wait while any targeted site is still migrating in."""
+        while True:
+            pending = [
+                self._barriers[s] for s in sites if s in self._barriers
+            ]
+            if not pending:
+                return
+            for event in pending:
+                if not event.processed:
+                    yield event
 
     # -- block/cache machinery -------------------------------------------
 
@@ -290,6 +408,11 @@ class StorageNode:
     def _do_read(self, dec: Decoder):
         args = proto.decode_read_args(dec)
         oid = object_id_for_fh(args.fh)
+        misdirected, my_sites = self._hosted_check(args.fh, args.offset)
+        if misdirected:
+            yield from self.host.cpu_work(self.params.cpu_per_op)
+            return proto.ReadRes(SLICEERR_MISDIRECTED).encode(), EMPTY
+        yield from self._await_barriers(my_sites)
         yield from self.host.cpu_work(
             self.params.cpu_per_op + self.params.cpu_read_per_byte * args.count
         )
@@ -370,10 +493,32 @@ class StorageNode:
     def _do_write(self, dec: Decoder, body):
         args = proto.decode_write_args(dec)
         oid = object_id_for_fh(args.fh)
+        misdirected, my_sites = self._hosted_check(args.fh, args.offset)
+        if misdirected:
+            yield from self.host.cpu_work(self.params.cpu_per_op)
+            return proto.WriteRes(SLICEERR_MISDIRECTED).encode(), EMPTY
+        yield from self._await_barriers(my_sites)
         yield from self.host.cpu_work(
             self.params.cpu_per_op + self.params.cpu_write_per_byte * args.count
         )
+        # Re-check after the yields above: a reconfiguration may have
+        # relinquished the target site while this request was waiting on a
+        # barrier or the CPU.  Applying the write now would strand the data
+        # on the old binding after the rebalancer enumerated it.
+        misdirected, my_sites = self._hosted_check(args.fh, args.offset)
+        if misdirected:
+            return proto.WriteRes(SLICEERR_MISDIRECTED).encode(), EMPTY
+        # Independent lost-write oracle: re-derive the routing sites at
+        # serve time and flag any write landing on a site this node does
+        # not host (only a broken/bypassed site check can get here).
+        if self._site_placement is not None and self.tracer is not None:
+            sites = self._route_sites(args.fh, args.offset)
+            if sites is not None and not (sites & self.hosted_sites):
+                self.tracer.stale_write_accepted(
+                    f"storage:{self.host.name}", oid, min(sites), self.sim.now
+                )
         obj = self.store.get(oid, create=True)
+        self.fh_of[oid] = args.fh
         data = body.slice(0, args.count)
         obj.write(args.offset, data, stable=False)
         for block in self._blocks_of(args.offset, args.count):
@@ -429,6 +574,7 @@ class StorageNode:
             fh = ctrlproto.decode_obj_args(dec)
             oid = object_id_for_fh(fh)
             removed = self.store.remove(oid)
+            self.fh_of.pop(oid, None)
             dirty = self._dirty.pop(oid, set())
             for block in dirty:
                 self.cache.discard((oid, block))
@@ -458,6 +604,53 @@ class StorageNode:
                 unstable = sum(hi - lo for lo, hi in obj.unstable_ranges)
                 stat = ctrlproto.ObjStat(True, obj.size, unstable)
             return ctrlproto.encode_stat_res(stat), EMPTY
+        if proc == ctrlproto.CTRL_OBJ_READ:
+            # Migration data plane: read a byte range as the *source* of a
+            # rebalance copy.  Deliberately bypasses the hosted-site check
+            # and migration barriers — by the time the rebalancer reads, the
+            # source has already relinquished the site, yet it is the only
+            # holder of the bytes.  Merges the unstable overlay so writes
+            # not yet committed still travel with the object.
+            args = ctrlproto.decode_range_args(dec)
+            oid = object_id_for_fh(args.fh)
+            yield from self.host.cpu_work(
+                self.params.cpu_read_per_byte * args.count
+            )
+            obj = self.store.get(oid)
+            if obj is None:
+                return ctrlproto.encode_read_res(False, 0), EMPTY
+            if args.count:
+                fills = [
+                    self.sim.process(self._fill_block(oid, obj, block))
+                    for block in self._blocks_of(args.offset, args.count)
+                ]
+                yield self.sim.all_of(fills)
+            data = obj.read(args.offset, args.count)
+            self.migrate_reads += 1
+            self.bytes_read += data.length
+            return ctrlproto.encode_read_res(True, data.length), data
+        if proc == ctrlproto.CTRL_MIGRATE_WRITE:
+            # Migration ingest: a stable write issued by the rebalancer (or
+            # a coordinator recovering a torn migration) into the *target*
+            # node.  Bypasses site checks and barriers by construction —
+            # the barrier exists precisely to hold client traffic while
+            # these writes land.  FILE_SYNC semantics: durable on reply.
+            args = ctrlproto.decode_range_args(dec)
+            oid = object_id_for_fh(args.fh)
+            yield from self.host.cpu_work(
+                self.params.cpu_write_per_byte * args.count
+            )
+            obj = self.store.get(oid, create=True)
+            self.fh_of[oid] = args.fh
+            data = body.slice(0, args.count)
+            obj.write(args.offset, data, stable=False)
+            for block in self._blocks_of(args.offset, args.count):
+                self._insert_dirty(oid, block)
+            yield from self._flush_object(oid, args.offset, args.count)
+            obj.commit(args.offset, args.count)
+            self.migrate_writes += 1
+            self.bytes_written += args.count
+            return ctrlproto.encode_status_res(0), EMPTY
         from repro.rpc.endpoint import RpcAcceptError
         from repro.rpc.messages import PROC_UNAVAIL
 

@@ -30,7 +30,7 @@ from repro.faults import (
     SlowDiskWindow,
     UntarChaosScenario,
 )
-from repro.nfs.fhandle import FHandle
+from repro.nfs.fhandle import FLAG_MIRRORED, FHandle
 from repro.nfs.types import FILE_SYNC, NF3REG, UNSTABLE
 from repro.rpc import RpcClient
 from repro.storage import coordproto as cp
@@ -167,6 +167,28 @@ def make_fh(fileid):
     return FHandle(1, NF3REG, 0, fileid, 0, bytes(16)).pack()
 
 
+def make_mirrored_fh(fileid):
+    return FHandle(1, NF3REG, FLAG_MIRRORED, fileid, 0, bytes(16)).pack()
+
+
+def pick_mirrored_fileid(nodes, start=4242):
+    """First fileid whose block-0 replica sites are hosted by ``nodes``.
+
+    The scenarios below drive raw PROC_WRITEs straight at specific
+    storage nodes (bypassing the µproxy), so the handle must map — under
+    the cluster's own placement — onto sites those nodes actually host,
+    or the site-aware nodes will (correctly) answer MISDIRECTED."""
+    placement = nodes[0]._site_placement
+    if placement is None:
+        return start  # site checks disabled: any fileid works
+    for fileid in range(start, start + 10000):
+        fh = FHandle(1, NF3REG, FLAG_MIRRORED, fileid, 0, bytes(16))
+        sites = set(placement.sites_for_block(fh, 0))
+        if all(sites & node.hosted_sites for node in nodes):
+            return fileid
+    raise AssertionError("no fileid maps onto the requested nodes")
+
+
 class _AbandonedIntentScenario:
     """Log an intention at coordinator 0 and vanish without completing it.
 
@@ -181,7 +203,7 @@ class _AbandonedIntentScenario:
 
     def __init__(self, kind):
         self.kind = kind
-        self.fh = make_fh(4242)
+        self.fh = None  # chosen in drive(), against the live placement
         self.payload = b"mirrored"
 
     def drive(self, harness):
@@ -190,6 +212,7 @@ class _AbandonedIntentScenario:
         host = cluster.net.add_host("driver")
         rpc = RpcClient(host, 900)
         nodes = cluster.storage_nodes[:2]
+        self.fh = make_mirrored_fh(pick_mirrored_fileid(nodes))
         sites = [(n.address.host, n.address.port) for n in nodes]
         from repro.nfs import proto
 

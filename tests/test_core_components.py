@@ -34,24 +34,45 @@ def test_routing_lookup_wraps():
 
 def test_routing_rebind_bumps_version():
     table = RoutingTable([addr(0), addr(1)], version=1)
-    table.rebind(1, addr(9))
+    table.rebind(1, addr(9), version=2)
     assert table.version == 2
     assert table.lookup(1) == addr(9)
 
 
+def test_routing_rebind_requires_newer_version():
+    table = RoutingTable([addr(0), addr(1)], version=3)
+    with pytest.raises(ValueError):
+        table.rebind(0, addr(9), version=3)  # same generation: refused
+    with pytest.raises(ValueError):
+        table.rebind(0, addr(9), version=2)  # older: refused
+    assert table.lookup(0) == addr(0)
+
+
 def test_routing_replace_rejects_stale_versions():
     table = RoutingTable([addr(0)], version=5)
-    table.replace([addr(1)], version=3)  # stale: ignored
+    assert table.replace([addr(1)], version=3) is False  # stale: ignored
     assert table.lookup(0) == addr(0)
-    table.replace([addr(1)], version=6)
+    assert table.replace([addr(1)], version=6) is True
     assert table.lookup(0) == addr(1)
 
 
+def test_routing_replace_refuses_same_version_fork():
+    """Re-offering the installed version with *different* entries is a fork
+    of the binding history and must fail loudly, not silently install."""
+    table = RoutingTable([addr(0), addr(1)], version=4)
+    # Identical entries at the same version: benign no-op.
+    assert table.replace([addr(0), addr(1)], version=4) is False
+    with pytest.raises(ValueError):
+        table.replace([addr(0), addr(9)], version=4)
+    assert table.lookup(1) == addr(1)
+
+
 def test_routing_wire_roundtrip():
-    table = RoutingTable([addr(0), addr(1), addr(0)], version=7)
+    table = RoutingTable([addr(0), addr(1), addr(0)], version=7, epoch=3)
     again = RoutingTable.from_wire(table.to_wire())
     assert again.entries == table.entries
     assert again.version == 7
+    assert again.epoch == 3
 
 
 def test_routing_sites_of_and_servers():
@@ -63,7 +84,7 @@ def test_routing_sites_of_and_servers():
 def test_routing_copy_is_independent():
     table = RoutingTable([addr(0)])
     dup = table.copy()
-    dup.rebind(0, addr(1))
+    dup.rebind(0, addr(1), version=2)
     assert table.lookup(0) == addr(0)
 
 

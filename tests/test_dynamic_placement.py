@@ -119,13 +119,18 @@ def test_config_service_serves_tables():
     prober = RpcClient(cluster.net.add_host("prober"), 950)
 
     def run():
+        # Empty body = the legacy unconditional fetch of every table.
         dec, _ = yield from prober.call(
             cluster.configsvc.address, SLICE_CONFIG_PROGRAM, CONFIG_V1,
             CONFIG_GET, b"",
         )
         return decode_tables(dec)
 
-    tables = cluster.run(run())
-    assert set(tables) == {"dir", "sf"}
+    fetch = cluster.run(run())
+    assert fetch.modified
+    assert fetch.epoch == cluster.configsvc.epoch
+    tables = fetch.tables
+    assert set(tables) == {"dir", "sf", "storage"}
     assert tables["dir"].entries == cluster.dir_table.entries
     assert tables["dir"].version == cluster.dir_table.version
+    assert tables["storage"].entries == cluster.storage_table.entries

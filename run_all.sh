@@ -11,8 +11,15 @@
 #                   isolation (pytest -m reconfig, already part of the
 #                   default run) plus the scale-out benchmark, which
 #                   writes BENCH_reconfig.json (see docs/RECONFIG.md).
+#   --with-telemetry implies --with-traces and additionally runs the
+#                   telemetry suite (pytest -m telemetry: traced workload
+#                   runs with time-series sampling and exporter checks)
+#                   and writes the BENCH_anatomy.json phase-breakdown
+#                   sidecar from the benchmark session (diff two of them
+#                   with `python -m repro.obs.benchdiff`).
 WITH_CHAOS=0
 WITH_RECONFIG=0
+WITH_TELEMETRY=0
 for arg in "$@"; do
     case "$arg" in
         --with-traces)
@@ -25,14 +32,24 @@ for arg in "$@"; do
         --with-reconfig)
             WITH_RECONFIG=1
             ;;
+        --with-telemetry)
+            WITH_TELEMETRY=1
+            REPRO_TRACE=1
+            export REPRO_TRACE
+            REPRO_TELEMETRY=1
+            export REPRO_TELEMETRY
+            ;;
         *)
-            echo "usage: $0 [--with-traces] [--with-chaos] [--with-reconfig]" >&2
+            echo "usage: $0 [--with-traces] [--with-chaos] [--with-reconfig] [--with-telemetry]" >&2
             exit 2
             ;;
     esac
 done
 set -x
 pytest tests/ 2>&1 | tee test_output.txt
+if [ "$WITH_TELEMETRY" = "1" ]; then
+    pytest tests/ -m telemetry 2>&1 | tee telemetry_output.txt
+fi
 if [ "$WITH_CHAOS" = "1" ]; then
     pytest tests/ -m chaos 2>&1 | tee chaos_output.txt
 fi

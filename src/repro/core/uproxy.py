@@ -166,6 +166,27 @@ class UProxy(PacketFilter):
         sim.process(self._attr_flusher(), name=f"uproxy-attrflush:{host.name}")
 
     # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def telemetry_gauges(self, scope) -> None:
+        """Register this µproxy's pull-gauges on a metrics scope."""
+        attr_cache = self.attr_cache
+        scope.gauge(
+            "attr_cache_hit_rate",
+            fn=lambda: (
+                attr_cache.hits / (attr_cache.hits + attr_cache.misses)
+                if (attr_cache.hits + attr_cache.misses) else 0.0
+            ),
+        )
+        scope.gauge("attr_cache_entries", fn=lambda: len(attr_cache))
+        scope.gauge("pending_ops", fn=lambda: len(self.pending))
+        scope.gauge("dirty_files", fn=lambda: len(self.dirty_sites))
+        cpu = self.host.cpu
+        scope.gauge("cpu_queue", fn=lambda: cpu.queue_length)
+        scope.gauge("cpu_util", fn=cpu.utilization)
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
 

@@ -151,6 +151,31 @@ class DirectoryServer:
         return self.server.address
 
     # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def telemetry_gauges(self, scope) -> None:
+        """Register this manager's pull-gauges on a metrics scope."""
+        scope.gauge("loaded_sites", fn=lambda: len(self.sites))
+        scope.gauge(
+            "wal_depth",
+            fn=lambda: sum(
+                self.backing.site("dir", sid).log.depth for sid in self.sites
+            ),
+        )
+        scope.gauge(
+            "wal_unsynced",
+            fn=lambda: sum(
+                self.backing.site("dir", sid).log.unsynced
+                for sid in self.sites
+            ),
+        )
+        scope.gauge("prepared_tx", fn=lambda: len(self.prepared))
+        cpu = self.host.cpu
+        scope.gauge("cpu_queue", fn=lambda: cpu.queue_length)
+        scope.gauge("cpu_util", fn=cpu.utilization)
+
+    # ------------------------------------------------------------------
     # site lifecycle
     # ------------------------------------------------------------------
 

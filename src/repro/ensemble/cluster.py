@@ -156,6 +156,51 @@ class SliceCluster:
 
         self.root_fh = make_root_cell().to_fh(1).pack()
         self.clients: List[Tuple[NfsClient, UProxy]] = []
+        self._telemetry = None  # TimeSeriesSampler once start_telemetry()
+
+    # -- telemetry ----------------------------------------------------------
+
+    def start_telemetry(self, interval: float = 0.05, maxlen: int = 512):
+        """Arm time-series telemetry on this (traced) cluster.
+
+        Installs the standard gauge set for every component (see
+        :func:`repro.obs.timeseries.install_cluster_gauges`) and starts a
+        :class:`~repro.obs.timeseries.TimeSeriesSampler` ticking every
+        ``interval`` simulated seconds.  Idempotent; returns the sampler.
+        Components added later (clients, scale-out storage nodes) are
+        instrumented automatically.
+        """
+        if self.tracer is None:
+            raise ValueError(
+                "telemetry needs a traced cluster: "
+                "SliceCluster(tracer=Tracer()) or REPRO_TRACE=1"
+            )
+        from repro.obs.timeseries import (
+            TimeSeriesSampler,
+            install_cluster_gauges,
+        )
+
+        install_cluster_gauges(self)
+        if self._telemetry is None:
+            self._telemetry = TimeSeriesSampler(
+                self.sim, self.tracer.metrics,
+                interval=interval, maxlen=maxlen,
+            ).start()
+        return self._telemetry
+
+    @property
+    def telemetry(self):
+        """The running sampler, or None before :meth:`start_telemetry`."""
+        return self._telemetry
+
+    def _watch_new_component(self) -> None:
+        """Re-install gauges after topology growth (no-op when untraced)."""
+        # getattr: _new_storage_node runs during __init__, before the
+        # _telemetry attribute exists.
+        if getattr(self, "_telemetry", None) is not None:
+            from repro.obs.timeseries import install_cluster_gauges
+
+            install_cluster_gauges(self)
 
     # -- wiring helpers -----------------------------------------------------
 
@@ -167,6 +212,7 @@ class SliceCluster:
         node = StorageNode(self.sim, host, self.params.storage,
                            tracer=self.tracer)
         self.storage_nodes.append(node)
+        self._watch_new_component()
         return node
 
     def _arm_site_checks(self) -> None:
@@ -226,6 +272,7 @@ class SliceCluster:
         cp = client_params or self.params.client
         client = NfsClient(self.sim, host, self.virtual, port=port, params=cp)
         self.clients.append((client, proxy))
+        self._watch_new_component()
         return client, proxy
 
     # -- reconfiguration ------------------------------------------------------

@@ -1,10 +1,11 @@
 """Measurement and reporting utilities."""
 
 from .report import banner, format_series, format_table
-from .stats import Counter, LatencyRecorder, ThroughputWindow
+from .stats import Counter, Gauge, LatencyRecorder, ThroughputWindow
 
 __all__ = [
     "Counter",
+    "Gauge",
     "LatencyRecorder",
     "ThroughputWindow",
     "banner",

@@ -3,27 +3,71 @@
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Callable, List, Optional, Union
 
-__all__ = ["LatencyRecorder", "Counter", "ThroughputWindow"]
+__all__ = ["LatencyRecorder", "Counter", "Gauge", "ThroughputWindow"]
 
 
 class LatencyRecorder:
-    """Collects latency samples; reports mean/percentiles."""
+    """Collects latency samples; reports mean/percentiles.
 
-    def __init__(self, name: str = ""):
+    With ``reservoir=None`` (the default, used by benchmarks) every sample
+    is retained and every statistic is exact.  With a ``reservoir`` cap the
+    recorder keeps a uniform random sample of that size (Vitter's
+    Algorithm R, seeded deterministically from the recorder's name) so a
+    long chaos run cannot grow memory without bound:
+
+    - ``count``, ``mean()``, and ``max()`` stay **exact** regardless of the
+      cap (they are tracked as running aggregates);
+    - ``percentile()`` is exact while ``count <= reservoir`` and becomes a
+      uniform-sample estimate beyond it.
+    """
+
+    def __init__(self, name: str = "", reservoir: Optional[int] = None):
+        if reservoir is not None and reservoir < 1:
+            raise ValueError(f"reservoir must be >= 1, got {reservoir}")
         self.name = name
+        self.reservoir = reservoir
         self.samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max: Optional[float] = None
+        # Deterministic per-recorder xorshift state (never zero) so capped
+        # recorders do not perturb — or get perturbed by — any other RNG.
+        seed = 0
+        for ch in name:
+            seed = (seed * 131 + ord(ch)) & 0xFFFFFFFF
+        self._rng_state = (seed ^ 0x9E3779B9) or 0x2545F491
+
+    def _rand_below(self, n: int) -> int:
+        """Deterministic uniform integer in [0, n) (xorshift32)."""
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._rng_state = x
+        return x % n
 
     def record(self, latency: float) -> None:
-        self.samples.append(latency)
+        self._count += 1
+        self._sum += latency
+        if self._max is None or latency > self._max:
+            self._max = latency
+        cap = self.reservoir
+        if cap is None or len(self.samples) < cap:
+            self.samples.append(latency)
+            return
+        # Reservoir full: replace a random slot with probability cap/count.
+        slot = self._rand_below(self._count)
+        if slot < cap:
+            self.samples[slot] = latency
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile (numpy's default convention).
@@ -47,10 +91,23 @@ class LatencyRecorder:
         return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
     def max(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._max if self._max is not None else 0.0
 
     def clear(self) -> None:
         self.samples.clear()
+        self._count = 0
+        self._sum = 0.0
+        self._max = None
+
+    def summary(self) -> dict:
+        """Compact stats dict (used by registry snapshots and exporters)."""
+        return {
+            "n": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": self.max(),
+        }
 
 
 class Counter:
@@ -69,6 +126,41 @@ class Counter:
 
     def since_mark(self) -> int:
         return self.value - self._mark
+
+
+class Gauge:
+    """A named instantaneous value: either set explicitly or computed.
+
+    Two styles, matching how telemetry is wired in practice::
+
+        g = Gauge("queue_depth")
+        g.set(3)                        # push style
+
+        g = Gauge("util", fn=lambda: cpu.utilization())   # pull style
+
+    ``value()`` evaluates the callback when one is attached, else returns
+    the last ``set()`` value.  A failing callback reads as 0.0 — telemetry
+    must never take the system down.
+    """
+
+    __slots__ = ("name", "fn", "_value")
+
+    def __init__(self, name: str = "",
+                 fn: Optional[Callable[[], Union[int, float]]] = None):
+        self.name = name
+        self.fn = fn
+        self._value: float = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = value
+
+    def value(self) -> float:
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:
+                return 0.0
+        return float(self._value)
 
 
 class ThroughputWindow:

@@ -12,21 +12,54 @@ The observability subsystem for the Slice reproduction:
   protocol invariants, turning any end-to-end test into a correctness
   oracle.
 
+The latency-anatomy layer builds on those primitives:
+
+- :mod:`repro.obs.anatomy` — critical-path decomposition of each
+  exchange's latency into phases that tile the interval exactly.
+- :mod:`repro.obs.timeseries` — ring-buffered gauge/rate sampling on a
+  simulated-clock cadence.
+- :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto),
+  Prometheus text exposition, and a JSONL structured log.
+- ``python -m repro.obs.dash`` — terminal dashboard over either a live
+  cluster or exported files.
+
 See ``docs/OBSERVABILITY.md`` for the span schema and the invariant list.
 """
 
+from .anatomy import AnatomyReport, analyze, analyze_exchange
 from .checker import InvariantViolation, TraceChecker, Violation
+from .export import (
+    chrome_trace,
+    export_bundle,
+    jsonl_events,
+    prometheus_text,
+    read_jsonl,
+    write_jsonl,
+)
 from .metrics import MetricsRegistry, MetricsScope
+from .timeseries import RingBuffer, TimeSeriesSampler, install_cluster_gauges
 from .trace import ExchangeTrace, Span, Tracer, all_tracers
 
 __all__ = [
+    "AnatomyReport",
     "ExchangeTrace",
     "InvariantViolation",
     "MetricsRegistry",
     "MetricsScope",
+    "RingBuffer",
     "Span",
+    "TimeSeriesSampler",
     "TraceChecker",
     "Tracer",
     "Violation",
     "all_tracers",
+    "analyze",
+    "analyze_exchange",
+    "chrome_trace",
+    "export_bundle",
+    "install_cluster_gauges",
+    "jsonl_events",
+    "prometheus_text",
+    "read_jsonl",
+    "write_jsonl",
 ]

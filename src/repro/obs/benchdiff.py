@@ -1,0 +1,156 @@
+"""Diff two benchmark JSON sidecars and flag >10% drifts.
+
+The paper-reproduction benchmarks write ``BENCH_*.json`` result files
+(tables, throughputs, and — with ``--with-telemetry`` — the per-phase
+latency anatomy).  This tool compares two such files leaf-by-leaf::
+
+    python -m repro.obs.benchdiff old/BENCH_anatomy.json new/BENCH_anatomy.json
+
+Every numeric leaf that moved by more than ``--threshold`` (relative,
+default 10%) is flagged; the exit code is 1 when anything was flagged, so
+the diff can gate a CI job.  Non-numeric leaves are compared for
+equality; keys present on only one side are reported as added/removed.
+
+The comparison is direction-agnostic (the tool cannot know whether a
+bigger number is better), so treat flags as "needs a look", not
+necessarily "worse".
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["flatten", "diff", "format_diff", "main"]
+
+#: Absolute floor below which relative drift is ignored (two runs that
+#: both measure ~0 should not flag on floating-point noise).
+EPSILON = 1e-12
+
+
+def flatten(obj, prefix: str = "") -> Iterator[Tuple[str, object]]:
+    """Yield ``(dotted.path, leaf)`` pairs for a nested JSON value."""
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(obj[key], path)
+    elif isinstance(obj, list):
+        for i, item in enumerate(obj):
+            path = f"{prefix}[{i}]"
+            yield from flatten(item, path)
+    else:
+        yield (prefix, obj)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff(old: Dict, new: Dict, threshold: float = 0.10) -> Dict[str, List]:
+    """Compare two benchmark dicts; returns the change sets.
+
+    Result keys: ``flagged`` [(path, old, new, rel_change)] numeric leaves
+    beyond the threshold, ``changed`` [(path, old, new, rel_change)]
+    numeric leaves within it, ``mismatched`` [(path, old, new)]
+    non-numeric leaves that differ, ``added`` / ``removed`` [path].
+    """
+    old_leaves = dict(flatten(old))
+    new_leaves = dict(flatten(new))
+    flagged: List[Tuple[str, object, object, float]] = []
+    changed: List[Tuple[str, object, object, float]] = []
+    mismatched: List[Tuple[str, object, object]] = []
+    for path in sorted(set(old_leaves) & set(new_leaves)):
+        a, b = old_leaves[path], new_leaves[path]
+        if _is_number(a) and _is_number(b):
+            if a == b:
+                continue
+            base = max(abs(a), abs(b))
+            if base < EPSILON:
+                continue
+            rel = (b - a) / abs(a) if abs(a) > EPSILON else float("inf")
+            entry = (path, a, b, rel)
+            if abs(rel) > threshold:
+                flagged.append(entry)
+            else:
+                changed.append(entry)
+        elif a != b:
+            mismatched.append((path, a, b))
+    return {
+        "flagged": flagged,
+        "changed": changed,
+        "mismatched": mismatched,
+        "added": sorted(set(new_leaves) - set(old_leaves)),
+        "removed": sorted(set(old_leaves) - set(new_leaves)),
+    }
+
+
+def _fmt_num(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_diff(result: Dict[str, List], threshold: float,
+                verbose: bool = False) -> str:
+    lines: List[str] = []
+    flagged = result["flagged"]
+    if flagged:
+        lines.append(
+            f"FLAGGED: {len(flagged)} metric(s) drifted more than "
+            f"{threshold * 100:.0f}%"
+        )
+        for path, a, b, rel in flagged:
+            lines.append(
+                f"  {path}: {_fmt_num(a)} -> {_fmt_num(b)} "
+                f"({rel * 100:+.1f}%)"
+            )
+    else:
+        lines.append(
+            f"OK: no metric drifted more than {threshold * 100:.0f}%"
+        )
+    if result["mismatched"]:
+        lines.append(f"mismatched (non-numeric): {len(result['mismatched'])}")
+        for path, a, b in result["mismatched"][:20]:
+            lines.append(f"  {path}: {a!r} -> {b!r}")
+    for kind in ("added", "removed"):
+        paths = result[kind]
+        if paths:
+            lines.append(f"{kind}: {len(paths)} leaf(s)")
+            if verbose:
+                lines.extend(f"  {p}" for p in paths[:50])
+    if verbose and result["changed"]:
+        lines.append(f"within threshold: {len(result['changed'])}")
+        for path, a, b, rel in result["changed"]:
+            lines.append(
+                f"  {path}: {_fmt_num(a)} -> {_fmt_num(b)} "
+                f"({rel * 100:+.1f}%)"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.benchdiff",
+        description="Diff two BENCH_*.json files; exit 1 on >threshold drift.",
+    )
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative drift to flag (default 0.10 = 10%%)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also list within-threshold and added/removed")
+    args = parser.parse_args(argv)
+    with open(args.old) as fh:
+        old = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+    result = diff(old, new, threshold=args.threshold)
+    print(format_diff(result, args.threshold, verbose=args.verbose))
+    return 1 if result["flagged"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,221 @@
+"""Time-series telemetry: ring-buffered samples on a sim-clock cadence.
+
+The critical-path profiler (:mod:`repro.obs.anatomy`) answers *where one
+request spent its time*; this module answers *what the cluster looked like
+while it did* — queue depths, utilisations, link occupancy, WAL depth,
+cache hit rates, outstanding intents — sampled on a fixed simulated-time
+interval into bounded ring buffers.
+
+Usage::
+
+    sampler = TimeSeriesSampler(sim, tracer.metrics, interval=0.05)
+    sampler.start()
+    ... run workload ...
+    curves = sampler.series_dict()       # {"scope.gauge": [[t, v], ...]}
+
+Gauges are *pull*-style (callbacks registered on
+:class:`~repro.obs.metrics.MetricsScope`), so components pay nothing on
+their hot paths: the sampler evaluates every callback once per tick.
+Counters are differentiated into per-second rates (``name:rate`` series)
+so throughput curves come for free.
+
+:func:`install_cluster_gauges` wires the standard gauge set for a
+:class:`~repro.ensemble.cluster.SliceCluster` by calling each component's
+``telemetry_gauges(scope)`` hook plus the fabric's per-port stats.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["RingBuffer", "TimeSeriesSampler", "install_cluster_gauges"]
+
+
+class RingBuffer:
+    """A bounded series of ``(t, value)`` samples (oldest evicted first)."""
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str, maxlen: int = 512):
+        self.name = name
+        self._samples: "deque[Tuple[float, float]]" = deque(maxlen=maxlen)
+
+    def append(self, t: float, value: float) -> None:
+        self._samples.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(self._samples)
+
+    @property
+    def maxlen(self) -> int:
+        return self._samples.maxlen or 0
+
+    def times(self) -> List[float]:
+        return [t for t, _v in self._samples]
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self._samples]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._samples[-1] if self._samples else None
+
+    def minmax(self) -> Tuple[float, float]:
+        vals = self.values()
+        if not vals:
+            return (0.0, 0.0)
+        return (min(vals), max(vals))
+
+    def to_list(self) -> List[List[float]]:
+        return [[t, v] for t, v in self._samples]
+
+
+class TimeSeriesSampler:
+    """Samples a :class:`~repro.obs.metrics.MetricsRegistry` periodically.
+
+    Each tick records every gauge's current reading and every counter's
+    per-second rate (first difference over the interval) into per-metric
+    ring buffers.  The sampling loop is an ordinary sim process, so the
+    cadence is *simulated* seconds — deterministic across runs.
+    """
+
+    def __init__(self, sim, registry, interval: float = 0.05,
+                 maxlen: int = 512, include_rates: bool = True):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.maxlen = maxlen
+        self.include_rates = include_rates
+        self.series: Dict[str, RingBuffer] = {}
+        self.samples_taken = 0
+        self._prev_counters: Dict[str, int] = {}
+        self._proc = None
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "TimeSeriesSampler":
+        """Begin sampling (idempotent)."""
+        if self._proc is None:
+            self._stopped = False
+            self._proc = self.sim.process(self._run(), name="telemetry-sampler")
+        return self
+
+    def stop(self) -> None:
+        """Stop after the current tick (the process exits on its next wake)."""
+        self._stopped = True
+        self._proc = None
+
+    def _run(self):
+        while not self._stopped:
+            yield self.sim.timeout(self.interval)
+            if self._stopped:
+                return
+            self.sample()
+
+    # -- sampling ----------------------------------------------------------
+
+    def _buf(self, name: str) -> RingBuffer:
+        buf = self.series.get(name)
+        if buf is None:
+            buf = RingBuffer(name, maxlen=self.maxlen)
+            self.series[name] = buf
+        return buf
+
+    def sample(self) -> None:
+        """Take one sample of every gauge (and counter rate) right now."""
+        now = self.sim.now
+        for scope in self.registry:
+            for gname, gauge in scope.gauges.items():
+                self._buf(f"{scope.name}.{gname}").append(now, gauge.value())
+            if not self.include_rates:
+                continue
+            for cname, counter in scope.counters.items():
+                key = f"{scope.name}.{cname}"
+                value = counter.value
+                prev = self._prev_counters.get(key)
+                self._prev_counters[key] = value
+                if prev is None:
+                    continue  # no interval to differentiate over yet
+                rate = (value - prev) / self.interval
+                self._buf(f"{key}:rate").append(now, rate)
+        self.samples_taken += 1
+
+    # -- export ------------------------------------------------------------
+
+    def series_dict(self) -> Dict[str, List[List[float]]]:
+        """``{"scope.metric": [[t, v], ...]}`` for every recorded series."""
+        return {
+            name: buf.to_list() for name, buf in sorted(self.series.items())
+        }
+
+    def to_dict(self) -> Dict:
+        return {
+            "interval": self.interval,
+            "maxlen": self.maxlen,
+            "samples_taken": self.samples_taken,
+            "series": self.series_dict(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Standard gauge wiring
+# ---------------------------------------------------------------------------
+
+
+def _resource_gauges(scope, prefix: str, resource) -> None:
+    scope.gauge(f"{prefix}_queue", fn=lambda r=resource: r.queue_length)
+    scope.gauge(f"{prefix}_util", fn=lambda r=resource: r.utilization())
+
+
+def install_network_gauges(registry, network, hosts=None) -> None:
+    """Per-destination switch-port occupancy gauges under scope ``net``.
+
+    ``hosts`` limits instrumentation to the named hosts (default: all).
+    """
+    scope = registry.scope("net")
+    wanted = set(hosts) if hosts is not None else None
+    for name in sorted(network.hosts):
+        if wanted is not None and name not in wanted:
+            continue
+        port = network.output_port(name)
+        _resource_gauges(scope, f"port_{name}", port)
+        host = network.hosts[name]
+        scope.gauge(
+            f"nic_{name}_queue",
+            fn=lambda h=host: h.nic_tx.queue_length + h.nic_tx.in_use,
+        )
+
+
+def install_cluster_gauges(cluster, hosts=None) -> None:
+    """Wire the standard gauge set for every component of a SliceCluster.
+
+    Idempotent: re-registering a gauge just replaces its callback, so it
+    is safe to call again after adding clients or storage nodes.  Requires
+    the cluster to have a tracer (the gauges live in ``tracer.metrics``).
+    """
+    tracer = cluster.tracer
+    if tracer is None:
+        raise ValueError("install_cluster_gauges needs a traced cluster "
+                         "(SliceCluster(tracer=Tracer()))")
+    registry = tracer.metrics
+    for node in cluster.storage_nodes:
+        node.telemetry_gauges(registry.scope(f"storage:{node.host.name}"))
+    for _client, proxy in cluster.clients:
+        proxy.telemetry_gauges(registry.scope(f"uproxy:{proxy.host.name}"))
+    for server in cluster.dir_servers:
+        server.telemetry_gauges(registry.scope(f"dirsvc:{server.host.name}"))
+    for server in cluster.sf_servers:
+        server.telemetry_gauges(registry.scope(f"sf:{server.host.name}"))
+    for coord in cluster.coordinators:
+        coord.telemetry_gauges(registry.scope(f"coord:{coord.host.name}"))
+    # Tracer-wide view of the intent ledger (logged-but-not-closed ops).
+    registry.scope("coord").gauge(
+        "intents_open", fn=lambda t=tracer: t.open_intent_count
+    )
+    install_network_gauges(registry, cluster.net, hosts=hosts)

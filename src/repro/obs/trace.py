@@ -193,10 +193,18 @@ class Tracer:
     simulated process; nothing here yields or blocks.
     """
 
+    #: Reservoir cap applied to histograms in a tracer-owned registry: a
+    #: tracer rides along on arbitrarily long chaos runs, so its latency
+    #: histograms must be bounded (mean/max stay exact; see
+    #: :class:`repro.metrics.stats.LatencyRecorder`).
+    HISTOGRAM_RESERVOIR = 4096
+
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  capacity: int = 1 << 18, keep_component_events: int = 4096):
         self.enabled = True
-        self.metrics = metrics or MetricsRegistry()
+        self.metrics = metrics or MetricsRegistry(
+            histogram_reservoir=self.HISTOGRAM_RESERVOIR
+        )
         self.capacity = capacity
         self.exchanges: "OrderedDict[Tuple, ExchangeTrace]" = OrderedDict()
         self._by_tid: Dict[int, Tuple] = {}
@@ -204,6 +212,12 @@ class Tracer:
         self.evicted = 0
         # op_id -> (state, kind)
         self.intents: Dict[int, Tuple[str, int]] = {}
+        # op_id -> [t_logged, t_closed or None] — the coordinator
+        # intent-hold durations the latency-anatomy layer reports.
+        self.intent_times: Dict[int, List[Optional[float]]] = {}
+        # Maintained incrementally so telemetry gauges can read the number
+        # of outstanding intents in O(1) on every sampling tick.
+        self.open_intent_count = 0
         # Packets whose full-recompute checksum failed at delivery.
         self.checksum_failures: List[str] = []
         self.packets_checked = 0
@@ -434,23 +448,43 @@ class Tracer:
     def intent_logged(self, op_id: int, kind: int, ts: float) -> None:
         if not self.enabled:
             return
+        prev = self.intents.get(op_id)
+        if prev is None or prev[0] != INTENT_OPEN:
+            self.open_intent_count += 1
         self.intents[op_id] = (INTENT_OPEN, kind)
+        times = self.intent_times.get(op_id)
+        if times is None:
+            self.intent_times[op_id] = [ts, None]
+        else:
+            times[1] = None  # replay re-opened it: hold extends
         self.metrics.scope("coord").inc("intents_logged")
+
+    def _close_intent(self, op_id: int, state: str, ts: float) -> None:
+        prev = self.intents.get(op_id)
+        kind = prev[1] if prev is not None else -1
+        if prev is not None and prev[0] == INTENT_OPEN:
+            self.open_intent_count -= 1
+        self.intents[op_id] = (state, kind)
+        times = self.intent_times.get(op_id)
+        if times is None:
+            self.intent_times[op_id] = [ts, ts]
+        elif times[1] is None:
+            times[1] = ts
+            if times[0] is not None:
+                self.metrics.scope("coord").observe(
+                    "intent_hold_s", max(0.0, ts - times[0])
+                )
 
     def intent_completed(self, op_id: int, ts: float) -> None:
         if not self.enabled:
             return
-        state = self.intents.get(op_id)
-        kind = state[1] if state is not None else -1
-        self.intents[op_id] = (INTENT_COMPLETED, kind)
+        self._close_intent(op_id, INTENT_COMPLETED, ts)
         self.metrics.scope("coord").inc("intents_completed")
 
     def intent_recovered(self, op_id: int, ts: float) -> None:
         if not self.enabled:
             return
-        state = self.intents.get(op_id)
-        kind = state[1] if state is not None else -1
-        self.intents[op_id] = (INTENT_RECOVERED, kind)
+        self._close_intent(op_id, INTENT_RECOVERED, ts)
         self.metrics.scope("coord").inc("intents_recovered")
 
     def open_intents(self) -> List[int]:

@@ -265,7 +265,13 @@ class RpcServer:
                 self.host.clock(),
             )
         try:
-            result = yield from service(call.proc, dec, pkt.body, pkt.src)
+            gen = service(call.proc, dec, pkt.body, pkt.src)
+            if span is not None:
+                # Latency anatomy: decompose the handle span's duration
+                # into queue-wait vs. execution vs. sub-operations.
+                result = yield from self._traced_service(gen, span)
+            else:
+                result = yield from gen
         except RpcAcceptError as exc:
             header = ReplyHeader(call.xid, exc.accept_stat).encode().to_bytes()
             self._drc_put(key, (header, EMPTY))
@@ -293,6 +299,70 @@ class RpcServer:
         self.host.send(
             self._reply_packet(pkt.src, header, reply_body, pkt.trace_id)
         )
+
+    def _traced_service(self, gen, span):
+        """Delegate to a service generator while decomposing its time.
+
+        Generator chains built with ``yield from`` flatten to a single
+        yield point, so *every* event the service (and anything it
+        delegates to: WAL syncs, disk accesses, nested helpers) waits on
+        passes through this trampoline.  The elapsed simulated time of
+        each wait is classified by the event's type and accumulated onto
+        the server handle span:
+
+        - ``queue_s`` — waits for a :class:`~repro.sim.resources.Resource`
+          grant (CPU core, disk arm, SCSI channel): pure queueing delay;
+        - ``exec_s``  — :class:`~repro.sim.engine.Timeout` events: the
+          modelled service time actually spent working;
+        - ``subop_s`` — everything else (child processes, ``all_of``
+          fan-outs, nested RPC replies): time inside sub-operations.
+
+        The three always sum to the span's duration, which is what lets
+        the critical-path analyzer (:mod:`repro.obs.anatomy`) split the
+        server phase into queue-wait vs. service exactly.  Only active
+        when a tracer is attached — the untraced path never builds this
+        trampoline.
+        """
+        from repro.sim.engine import Timeout
+        from repro.sim.resources import Request
+
+        sim = self.host.sim
+        queue_s = exec_s = subop_s = 0.0
+
+        def classify(event, elapsed):
+            nonlocal queue_s, exec_s, subop_s
+            if isinstance(event, Request):
+                queue_s += elapsed
+            elif isinstance(event, Timeout):
+                exec_s += elapsed
+            else:
+                subop_s += elapsed
+
+        try:
+            try:
+                event = next(gen)
+            except StopIteration as stop:
+                return stop.value
+            while True:
+                before = sim.now
+                try:
+                    value = yield event
+                except BaseException as exc:  # forwarded (e.g. Interrupt)
+                    classify(event, sim.now - before)
+                    try:
+                        event = gen.throw(exc)
+                    except StopIteration as stop:
+                        return stop.value
+                    continue
+                classify(event, sim.now - before)
+                try:
+                    event = gen.send(value)
+                except StopIteration as stop:
+                    return stop.value
+        finally:
+            span.attrs["queue_s"] = queue_s
+            span.attrs["exec_s"] = exec_s
+            span.attrs["subop_s"] = subop_s
 
     def _drc_put(self, key, value) -> None:
         self._drc[key] = value

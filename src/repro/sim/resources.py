@@ -53,6 +53,7 @@ class Resource:
         self._busy_time = 0.0
         self._busy_since: Optional[float] = None
         self.total_served = 0
+        self.peak_queue = 0
 
     def request(self) -> Request:
         req = Request(self)
@@ -60,6 +61,8 @@ class Resource:
             self._grant(req)
         else:
             self._waiting.append(req)
+            if len(self._waiting) > self.peak_queue:
+                self.peak_queue = len(self._waiting)
         return req
 
     def _grant(self, req: Request) -> None:
@@ -113,6 +116,18 @@ class Resource:
         if elapsed <= 0:
             return 0.0
         return self.busy_time() / (elapsed * self.capacity)
+
+    def stats(self) -> dict:
+        """One snapshot of the queueing state (for telemetry samplers)."""
+        return {
+            "capacity": self.capacity,
+            "in_use": self.in_use,
+            "queue_length": len(self._waiting),
+            "peak_queue": self.peak_queue,
+            "total_served": self.total_served,
+            "busy_time": self.busy_time(),
+            "utilization": self.utilization(),
+        }
 
 
 class Store:

@@ -188,6 +188,33 @@ class SmallFileServer:
     def address(self) -> Address:
         return self.server.address
 
+    # -- telemetry ----------------------------------------------------------
+
+    def telemetry_gauges(self, scope) -> None:
+        """Register this server's pull-gauges on a metrics scope."""
+        scope.gauge("loaded_sites", fn=lambda: len(self.zones))
+        scope.gauge(
+            "wal_depth",
+            fn=lambda: sum(
+                self.backing.site("sf", sid).log.depth for sid in self.zones
+            ),
+        )
+        scope.gauge(
+            "wal_unsynced",
+            fn=lambda: sum(
+                self.backing.site("sf", sid).log.unsynced
+                for sid in self.zones
+            ),
+        )
+        scope.gauge("pending_overlays", fn=lambda: len(self.pending))
+        cache = self.cache
+        scope.gauge("cache_used_frac",
+                    fn=lambda: cache.used / cache.capacity)
+        scope.gauge("cache_hit_rate", fn=cache.hit_ratio)
+        cpu = self.host.cpu
+        scope.gauge("cpu_queue", fn=lambda: cpu.queue_length)
+        scope.gauge("cpu_util", fn=cpu.utilization)
+
     def _new_verf(self) -> int:
         digest = hashlib.md5(
             f"sf:{self.host.name}:{self._boot_count}".encode()

@@ -90,6 +90,18 @@ class Coordinator:
     def address(self) -> Address:
         return self.server.address
 
+    # -- telemetry ----------------------------------------------------------
+
+    def telemetry_gauges(self, scope) -> None:
+        """Register this coordinator's pull-gauges on a metrics scope."""
+        scope.gauge("pending_intents", fn=lambda: len(self.pending))
+        scope.gauge("wal_depth", fn=lambda: self.log.depth)
+        scope.gauge("wal_unsynced", fn=lambda: self.log.unsynced)
+        scope.gauge("block_maps", fn=lambda: len(self.block_maps))
+        cpu = self.host.cpu
+        scope.gauge("cpu_queue", fn=lambda: cpu.queue_length)
+        scope.gauge("cpu_util", fn=cpu.utilization)
+
     # -- placement policy ---------------------------------------------------
 
     def place_block(self, fh: bytes, block: int) -> int:

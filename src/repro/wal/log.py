@@ -137,5 +137,17 @@ class WriteAheadLog:
         self.stable_count -= keep_from_lsn
         self.base_lsn += keep_from_lsn
 
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Records currently held (stable + volatile tail)."""
+        return len(self.records)
+
+    @property
+    def unsynced(self) -> int:
+        """Appended records not yet acknowledged stable."""
+        return len(self.records) - self.stable_count
+
     def __len__(self) -> int:
         return len(self.records)

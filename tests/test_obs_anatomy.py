@@ -1,0 +1,190 @@
+"""Critical-path anatomy: phase tiling, attribution, and aggregation."""
+
+import pytest
+
+from repro.ensemble.cluster import SliceCluster
+from repro.ensemble.params import ClusterParams
+from repro.obs import AnatomyReport, Tracer, analyze, analyze_exchange
+from repro.obs.anatomy import PHASES
+from repro.obs.trace import ExchangeTrace
+from repro.workloads.bulkio import dd_write
+from repro.workloads.untar import UntarSpec, UntarWorkload
+
+TOL = 1e-9
+
+
+def _phases_sum(anatomy):
+    return sum(anatomy.phases.values())
+
+
+# -- hand-built exchanges -------------------------------------------------
+
+
+def _exchange(key=("client0:700", 1), tid=1, proc=4):
+    ex = ExchangeTrace(key, tid, 0.0)
+    ex.proc = proc
+    return ex
+
+
+def test_simple_redirect_tiles_exactly():
+    """call -> route -> deliver(server) -> handle -> deliver(client) -> reply."""
+    ex = _exchange()
+    ex.new_call(0.0, proc=4, size=100)
+    ex.add("uproxy", "route", 0.000010, dst="store0:3049", reason="bulk-read")
+    ex.add("net", "deliver", 0.000110, dst="store0:3049", size=100)
+    handle = ex.add("storage:store0", "handle", 0.000110, proc=4)
+    handle.finish(0.000510, queue_s=0.0001, exec_s=0.0003)
+    ex.add("net", "deliver", 0.000610, dst="client0:700", size=128)
+    ex.n_replies += 1
+    ex.add("uproxy", "reply", 0.000650, synthesized=False)
+    ex.root.finish(0.000650)
+
+    anatomy = analyze_exchange(ex)
+    assert anatomy is not None
+    assert _phases_sum(anatomy) == pytest.approx(anatomy.total, abs=TOL)
+    # Route covers interception -> route decision -> wire launch.
+    assert anatomy.phases["uproxy.route"] == pytest.approx(0.000010, abs=TOL)
+    assert anatomy.phases["fabric.request"] == pytest.approx(0.000100, abs=TOL)
+    # Server interval split by the trampoline's queue/exec attribution.
+    assert anatomy.phases["server.queue"] == pytest.approx(0.000100, abs=TOL)
+    assert anatomy.phases["server.exec"] == pytest.approx(0.000300, abs=TOL)
+    assert anatomy.phases["fabric.reply"] == pytest.approx(0.000100, abs=TOL)
+    assert anatomy.phases["uproxy.reply"] == pytest.approx(0.000040, abs=TOL)
+
+
+def test_unattributed_server_interval_falls_back_to_exec():
+    ex = _exchange()
+    ex.new_call(0.0, proc=4)
+    ex.add("net", "deliver", 0.0001, dst="store0:3049")
+    handle = ex.add("storage:store0", "handle", 0.0001, proc=4)
+    handle.finish(0.0005)  # no queue_s/exec_s attrs (legacy span)
+    ex.add("net", "deliver", 0.0006, dst="client0:700")
+    ex.root.finish(0.0006)
+    anatomy = analyze_exchange(ex)
+    assert anatomy.phases["server.exec"] == pytest.approx(0.0004, abs=TOL)
+    assert anatomy.phases["server.queue"] == 0.0
+    assert _phases_sum(anatomy) == pytest.approx(anatomy.total, abs=TOL)
+
+
+def test_drop_creates_retry_window():
+    ex = _exchange()
+    ex.new_call(0.0, proc=4)
+    ex.add("net", "drop", 0.0001, dst="store0:3049", reason="fault")
+    # dead air until the retransmitted call is re-routed at t=0.5
+    ex.new_call(0.5, proc=4)
+    ex.add("net", "deliver", 0.5001, dst="store0:3049")
+    handle = ex.add("storage:store0", "handle", 0.5001, proc=4)
+    handle.finish(0.5004, exec_s=0.0003)
+    ex.add("net", "deliver", 0.5005, dst="client0:700")
+    ex.root.finish(0.5005)
+    anatomy = analyze_exchange(ex)
+    assert anatomy.phases["wait.retry"] == pytest.approx(0.4999, abs=TOL)
+    assert _phases_sum(anatomy) == pytest.approx(anatomy.total, abs=TOL)
+
+
+def test_incomplete_exchange_returns_none():
+    ex = _exchange()
+    ex.new_call(0.0, proc=4)
+    assert analyze_exchange(ex) is None
+    report = AnatomyReport()
+    report.add(ex, analyze_exchange(ex))
+    assert report.incomplete == 1
+
+
+def test_coordinator_handle_counts_as_intent_phase():
+    ex = _exchange()
+    ex.new_call(0.0, proc=8)
+    ex.add("net", "deliver", 0.0001, dst="coord0:3051")
+    handle = ex.add("coord:coord0", "handle", 0.0001, proc=1)
+    handle.finish(0.0003)
+    ex.add("net", "deliver", 0.0004, dst="client0:700")
+    ex.root.finish(0.0004)
+    anatomy = analyze_exchange(ex)
+    assert anatomy.phases["coord.intent"] == pytest.approx(0.0002, abs=TOL)
+    assert _phases_sum(anatomy) == pytest.approx(anatomy.total, abs=TOL)
+
+
+def test_slow_log_is_bounded_and_sorted():
+    report = AnatomyReport(top_k=3)
+    for i in range(10):
+        ex = _exchange(key=("client0:700", i), tid=i)
+        ex.new_call(0.0, proc=4)
+        ex.root.finish(0.001 * (i + 1))
+        report.add(ex, analyze_exchange(ex))
+    slow = report.slow_requests
+    assert len(slow) == 3
+    totals = [entry[0] for entry in slow]
+    assert totals == sorted(totals, reverse=True)
+    assert totals[0] == pytest.approx(0.010)
+
+
+# -- end-to-end on a traced cluster ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    cluster = SliceCluster(
+        params=ClusterParams(num_storage_nodes=2, num_dir_servers=1),
+        tracer=Tracer(),
+    )
+    client, _proxy = cluster.add_client()
+    untar = UntarWorkload(
+        client, cluster.root_fh, UntarSpec(total_entries=60), seed=3
+    )
+    cluster.run(untar.run(), name="untar")
+    cluster.run(
+        dd_write(client, cluster.root_fh, "bulk.bin", 4 << 20), name="dd"
+    )
+    return cluster
+
+
+def test_traced_untar_phases_tile_every_exchange(traced_run):
+    tracer = traced_run.tracer
+    completed = 0
+    for exchange in tracer.exchanges.values():
+        anatomy = analyze_exchange(exchange)
+        if anatomy is None:
+            continue
+        completed += 1
+        assert _phases_sum(anatomy) == pytest.approx(
+            anatomy.total, abs=1e-9
+        ), exchange.format()
+        assert all(v >= 0.0 for v in anatomy.phases.values())
+        assert set(anatomy.phases) <= set(PHASES)
+    assert completed > 100  # untar generates ~7 ops per file
+
+
+def test_traced_untar_report_aggregates(traced_run):
+    report = analyze(traced_run.tracer)
+    d = report.to_dict()
+    assert d["exchanges"] > 0
+    # The seven-op create sequence: these procs must all appear.
+    for proc in ("lookup", "create", "setattr", "access", "getattr"):
+        assert proc in d["by_proc"], sorted(d["by_proc"])
+    # Bulk writes hit the storage path: server time must be attributed.
+    totals = d["phase_totals"]
+    assert totals.get("server.exec", 0.0) > 0.0
+    assert totals.get("fabric.request", 0.0) > 0.0
+    assert len(d["slow_requests"]) <= 8
+    assert report.format_tables()  # renders without raising
+
+
+def test_server_queue_wait_visible_under_contention():
+    """Concurrent bulk writers must surface server.queue time."""
+    cluster = SliceCluster(
+        params=ClusterParams(num_storage_nodes=1), tracer=Tracer()
+    )
+    clients = [cluster.add_client(f"c{i}")[0] for i in range(3)]
+
+    def driver():
+        procs = [
+            cluster.sim.process(
+                dd_write(c, cluster.root_fh, f"f{i}.bin", 2 << 20, seed=i)
+            )
+            for i, c in enumerate(clients)
+        ]
+        yield cluster.sim.all_of(procs)
+
+    cluster.run(driver(), name="contend")
+    totals = analyze(cluster.tracer).phase_totals()
+    assert totals["server.queue"] > 0.0

@@ -1,0 +1,272 @@
+"""Time-series telemetry: ring buffers, the sampler's sim-clock cadence,
+gauge wiring across cluster components, reservoir-capped histograms, and
+the enriched registry snapshot."""
+
+import pytest
+
+from repro.ensemble.cluster import SliceCluster
+from repro.ensemble.params import ClusterParams
+from repro.metrics.stats import Gauge, LatencyRecorder
+from repro.obs import RingBuffer, TimeSeriesSampler, Tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import Simulator
+from repro.workloads.bulkio import dd_write
+from repro.workloads.untar import UntarSpec, UntarWorkload
+
+
+# -- RingBuffer ------------------------------------------------------------
+
+
+def test_ring_buffer_bounded_eviction():
+    buf = RingBuffer("x", maxlen=4)
+    for i in range(10):
+        buf.append(float(i), float(i * i))
+    assert len(buf) == 4
+    assert buf.maxlen == 4
+    assert buf.times() == [6.0, 7.0, 8.0, 9.0]
+    assert buf.values() == [36.0, 49.0, 64.0, 81.0]
+    assert buf.last() == (9.0, 81.0)
+    assert buf.minmax() == (36.0, 81.0)
+    assert buf.to_list() == [[6.0, 36.0], [7.0, 49.0], [8.0, 64.0], [9.0, 81.0]]
+
+
+def test_ring_buffer_empty():
+    buf = RingBuffer("empty")
+    assert len(buf) == 0
+    assert buf.last() is None
+    assert buf.minmax() == (0.0, 0.0)
+    assert buf.values() == []
+
+
+# -- sampler mechanics on a bare simulator ---------------------------------
+
+
+def test_sampler_cadence_and_counter_rates():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    scope = registry.scope("comp")
+    state = {"v": 0.0}
+    scope.gauge("level", fn=lambda: state["v"])
+
+    def workload():
+        for _ in range(20):
+            yield sim.timeout(0.1)
+            state["v"] += 1.0
+            scope.inc("ops", 5)
+
+    sampler = TimeSeriesSampler(sim, registry, interval=0.1, maxlen=8)
+    sampler.start()
+    sampler.start()  # idempotent: one process, not two
+    sim.process(workload(), name="load")
+    sim.run(until=2.05)
+    sampler.stop()
+
+    level = sampler.series["comp.level"]
+    # maxlen bounds the buffer even though ~20 ticks fired.
+    assert len(level) == 8
+    ts = level.times()
+    # Deterministic sim-clock cadence: exactly one interval apart.
+    for a, b in zip(ts, ts[1:]):
+        assert b - a == pytest.approx(0.1)
+    # Counter rate: 5 ops per 0.1 s tick -> 50/s once warmed up.
+    rate = sampler.series["comp.ops:rate"]
+    assert rate.values()[-1] == pytest.approx(50.0)
+    assert sampler.samples_taken >= 8
+
+
+def test_sampler_stop_halts_sampling():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    registry.scope("c").gauge("g", fn=lambda: 1.0)
+    sampler = TimeSeriesSampler(sim, registry, interval=0.1)
+    sampler.start()
+    sim.run(until=0.55)
+    taken = sampler.samples_taken
+    assert taken >= 4
+    sampler.stop()
+    sim.run(until=2.0)
+    assert sampler.samples_taken == taken
+
+
+def test_sampler_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(Simulator(), MetricsRegistry(), interval=0.0)
+
+
+def test_sampler_to_dict_shape():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    registry.scope("c").gauge("g", fn=lambda: 2.5)
+    sampler = TimeSeriesSampler(sim, registry, interval=0.05, maxlen=16)
+    sampler.start()
+    sim.run(until=0.3)
+    d = sampler.to_dict()
+    assert d["interval"] == 0.05
+    assert d["maxlen"] == 16
+    assert d["samples_taken"] == len(d["series"]["c.g"])
+    assert all(v == 2.5 for _t, v in d["series"]["c.g"])
+
+
+# -- cluster wiring: non-trivial curves ------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sampled_cluster():
+    cluster = SliceCluster(
+        params=ClusterParams(num_storage_nodes=2, num_dir_servers=1),
+        tracer=Tracer(),
+    )
+    cluster.start_telemetry(interval=0.005)
+    client, _proxy = cluster.add_client()
+    untar = UntarWorkload(
+        client, cluster.root_fh, UntarSpec(total_entries=40), seed=11
+    )
+    cluster.run(untar.run(), name="untar")
+    cluster.run(
+        dd_write(client, cluster.root_fh, "big.bin", 6 << 20), name="dd"
+    )
+    return cluster
+
+
+def test_storage_node_curves_nontrivial(sampled_cluster):
+    """Bulk writes must move a storage node's queue/util gauges."""
+    series = sampled_cluster.telemetry.series
+    stores = {
+        name.split(".")[0]
+        for name in series if name.startswith("storage:")
+    }
+    assert len(stores) == 2
+    busy = 0
+    for store in stores:
+        util = series[f"{store}.disk_util"]
+        assert len(util) > 10
+        lo, hi = util.minmax()
+        if hi > lo and hi > 0.0:
+            busy += 1
+    assert busy >= 1, "no storage node showed disk utilisation movement"
+
+
+def test_network_link_curve_nontrivial(sampled_cluster):
+    """At least one switch output port shows occupancy during bulk IO."""
+    series = sampled_cluster.telemetry.series
+    port_series = [
+        buf for name, buf in series.items()
+        if name.startswith("net.port_") and name.endswith("_util")
+    ]
+    assert port_series, "no network port gauges installed"
+    assert any(buf.minmax()[1] > 0.0 for buf in port_series)
+
+
+def test_uproxy_and_dirsvc_gauges_present(sampled_cluster):
+    series = sampled_cluster.telemetry.series
+    assert any(n.startswith("uproxy:") and n.endswith("attr_cache_hit_rate")
+               for n in series)
+    assert any(n.startswith("dirsvc:") and n.endswith("wal_depth")
+               for n in series)
+    assert "coord.intents_open" in series
+
+
+def test_start_telemetry_requires_tracer():
+    cluster = SliceCluster(params=ClusterParams(num_storage_nodes=1))
+    with pytest.raises(ValueError):
+        cluster.start_telemetry()
+
+
+def test_start_telemetry_idempotent(sampled_cluster):
+    again = sampled_cluster.start_telemetry(interval=0.005)
+    assert again is sampled_cluster.telemetry
+
+
+# -- LatencyRecorder reservoir cap -----------------------------------------
+
+
+def test_reservoir_exact_below_cap():
+    rec = LatencyRecorder("r", reservoir=100)
+    for i in range(50):
+        rec.record(float(i))
+    assert rec.count == 50
+    assert len(rec.samples) == 50
+    assert rec.percentile(0.0) == 0.0
+    assert rec.percentile(1.0) == 49.0
+    assert rec.mean() == pytest.approx(24.5)
+
+
+def test_reservoir_bounds_memory_and_keeps_exact_aggregates():
+    rec = LatencyRecorder("r2", reservoir=64)
+    n = 5000
+    for i in range(n):
+        rec.record(float(i))
+    assert len(rec.samples) == 64
+    assert rec.count == n                      # exact
+    assert rec.max() == float(n - 1)           # exact
+    assert rec.mean() == pytest.approx((n - 1) / 2)  # exact
+    # Estimated median of uniform 0..4999 should land in the middle half.
+    assert 1000.0 < rec.percentile(0.5) < 4000.0
+    # All retained samples are genuine observations.
+    assert all(0.0 <= s < n and s == int(s) for s in rec.samples)
+
+
+def test_reservoir_deterministic_per_name():
+    def fill(name):
+        rec = LatencyRecorder(name, reservoir=32)
+        for i in range(1000):
+            rec.record(float(i))
+        return list(rec.samples)
+
+    assert fill("same") == fill("same")
+    assert fill("same") != fill("different")
+
+
+def test_reservoir_validation_and_clear():
+    with pytest.raises(ValueError):
+        LatencyRecorder("bad", reservoir=0)
+    rec = LatencyRecorder("ok", reservoir=8)
+    for i in range(100):
+        rec.record(1.0)
+    rec.clear()
+    assert rec.count == 0 and rec.samples == [] and rec.max() == 0.0
+
+
+def test_tracer_registry_histograms_are_capped():
+    tracer = Tracer()
+    cap = Tracer.HISTOGRAM_RESERVOIR
+    hist = tracer.metrics.scope("storage:x").histogram("handle_s")
+    assert hist.reservoir == cap
+    for i in range(cap + 500):
+        hist.record(0.001)
+    assert len(hist.samples) == cap
+    assert hist.count == cap + 500
+
+
+# -- Gauge + snapshot ------------------------------------------------------
+
+
+def test_gauge_push_and_pull_styles():
+    g = Gauge("push")
+    g.set(7)
+    assert g.value() == 7
+    box = {"v": 1.0}
+    g2 = Gauge("pull", fn=lambda: box["v"])
+    assert g2.value() == 1.0
+    box["v"] = 3.5
+    assert g2.value() == 3.5
+
+
+def test_registry_snapshot_merges_all_metric_kinds():
+    registry = MetricsRegistry()
+    scope = registry.scope("uproxy")
+    scope.inc("calls_intercepted", 3)
+    scope.observe("route_s", 0.010)
+    scope.observe("route_s", 0.030)
+    scope.gauge("pending_ops", fn=lambda: 4)
+    snap = registry.snapshot()
+    view = snap["uproxy"]
+    # Counters keep their historical plain-int shape.
+    assert view["calls_intercepted"] == 3
+    # Histograms appear as summary dicts.
+    assert view["route_s"]["n"] == 2
+    assert view["route_s"]["mean"] == pytest.approx(0.020)
+    assert view["route_s"]["max"] == pytest.approx(0.030)
+    assert set(view["route_s"]) == {"n", "mean", "p50", "p95", "max"}
+    # Gauges appear as plain readings.
+    assert view["pending_ops"] == 4
